@@ -1,0 +1,35 @@
+// E10 — the non-explicit counting bound (paper's full version): some
+// f: {0,1}^{n^2} -> {0,1} needs (n - O(log n))/b rounds in CLIQUE-UCAST.
+//
+// Measured: the numeric protocol-counting threshold vs the trivial n/b
+// upper bound across n and b — the gap must shrink to O(log n / b).
+#include "bench_util.h"
+#include "lowerbound/counting_bound.h"
+
+using namespace cclique;
+using benchutil::Table;
+using benchutil::cell;
+
+int main() {
+  benchutil::banner(
+      "E10: counting lower bound (full version of the paper)",
+      "some function needs (n - O(log n))/b rounds; trivial UB is n/b — "
+      "near-optimal non-explicit bound");
+  Table t({"n", "b", "LB rounds (counting)", "UB rounds (n/b)", "gap",
+           "closed form (n^2-n-2log n)/((n-1)b)"});
+  for (int b : {1, 4, 16}) {
+    for (int n : {8, 16, 32, 64, 128, 256}) {
+      auto cb = counting_lower_bound(n, b);
+      t.add_row({cell("%d", n), cell("%d", b),
+                 cell("%.0f", cb.lower_bound_rounds),
+                 cell("%.0f", cb.upper_bound_rounds),
+                 cell("%.0f", cb.upper_bound_rounds - cb.lower_bound_rounds),
+                 cell("%.1f", cb.closed_form)});
+    }
+  }
+  t.print();
+  std::printf("shape check: the gap column grows like O(log n)/b while the "
+              "bound itself grows like n/b — the counting bound is within a "
+              "vanishing fraction of optimal\n");
+  return 0;
+}

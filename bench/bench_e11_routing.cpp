@@ -1,0 +1,84 @@
+// E11 — the Lenzen routing substrate [28]: c-balanced demands route in O(c)
+// rounds deterministically.
+//
+// Measured: rounds for direct vs two-phase vs Valiant routing across load
+// factors c and adversarial demand shapes (uniform, hot-pair, hot-dest).
+// The theorem-shaped claims: two-phase rounds ~ c (independent of n), and
+// the direct router collapses on hot pairs while two-phase does not.
+#include "bench_util.h"
+#include "routing/router.h"
+#include "util/rng.h"
+
+using namespace cclique;
+using benchutil::Table;
+using benchutil::cell;
+
+namespace {
+
+RoutingDemand uniform_demand(int n, int c, Rng& rng) {
+  RoutingDemand d;
+  d.payload_bits = 8;
+  std::vector<int> dest_slots;
+  for (int v = 0; v < n; ++v) {
+    for (int k = 0; k < c * n; ++k) dest_slots.push_back(v);
+  }
+  rng.shuffle(dest_slots);
+  std::size_t cursor = 0;
+  for (int v = 0; v < n; ++v) {
+    for (int k = 0; k < c * n; ++k) {
+      d.messages.push_back(RoutedMessage{v, dest_slots[cursor++], 0x5A});
+    }
+  }
+  return d;
+}
+
+RoutingDemand hot_pair_demand(int n, int c) {
+  // Every player sends its entire c*n quota to a single partner.
+  RoutingDemand d;
+  d.payload_bits = 8;
+  for (int v = 0; v < n; ++v) {
+    for (int k = 0; k < c * n; ++k) {
+      d.messages.push_back(RoutedMessage{v, (v + 1) % n, 0xA5});
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner(
+      "E11: routing substrate [28] — balanced demands in O(c) rounds",
+      "deterministic relay routing: rounds track the load factor c, not n; "
+      "direct routing collapses on adversarial hot pairs");
+  Rng rng(11);
+  const int bw = 32;
+
+  Table a({"shape", "n", "c", "direct rounds", "two-phase rounds",
+           "valiant rounds"});
+  for (int n : {16, 32}) {
+    for (int c : {1, 2, 4}) {
+      {
+        RoutingDemand d = uniform_demand(n, c, rng);
+        CliqueUnicast n1(n, bw), n2(n, bw), n3(n, bw);
+        a.add_row({"uniform", cell("%d", n), cell("%d", c),
+                   cell("%d", route_direct(n1, d).rounds),
+                   cell("%d", route_two_phase(n2, d).rounds),
+                   cell("%d", route_valiant(n3, d, rng).rounds)});
+      }
+      {
+        RoutingDemand d = hot_pair_demand(n, c);
+        CliqueUnicast n1(n, bw), n2(n, bw), n3(n, bw);
+        a.add_row({"hot-pair", cell("%d", n), cell("%d", c),
+                   cell("%d", route_direct(n1, d).rounds),
+                   cell("%d", route_two_phase(n2, d).rounds),
+                   cell("%d", route_valiant(n3, d, rng).rounds)});
+      }
+    }
+  }
+  a.print();
+  std::printf("shape check: two-phase column depends on c only; direct "
+              "column on hot-pair rows grows like c*n — the bottleneck the "
+              "relay scheme removes\n");
+  return 0;
+}

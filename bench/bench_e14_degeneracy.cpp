@@ -1,0 +1,57 @@
+// E14 — Claim 6: an H-free n-vertex graph has degeneracy <= 4 ex(n,H)/n.
+//
+// Measured: the degeneracy-to-cap ratio across H-free families, including
+// the *extremal* witnesses (where the claim is tightest): polarity graphs
+// for C4, balanced complete bipartite for odd cycles and K3, Turán graphs
+// for cliques.
+#include "bench_util.h"
+#include "graph/degeneracy.h"
+#include "graph/extremal.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+#include "graph/turan.h"
+#include "util/rng.h"
+
+using namespace cclique;
+using benchutil::Table;
+using benchutil::cell;
+
+int main() {
+  benchutil::banner(
+      "E14: Claim 6 — H-free graphs have degeneracy <= 4 ex(n,H)/n",
+      "checked on extremal witnesses (worst case for the claim) and random "
+      "H-free graphs; ratio column must stay <= 1");
+  Rng rng(14);
+
+  Table t({"family", "H", "n", "m", "degeneracy", "cap 4ex/n", "ratio",
+           "H-free?"});
+  auto add = [&](const char* family, const Graph& g, const Graph& h,
+                 const char* hname) {
+    const int n = g.num_vertices();
+    const int k = compute_degeneracy(g).degeneracy;
+    const int cap = degeneracy_cap_if_h_free(static_cast<std::uint64_t>(n), h);
+    t.add_row({family, hname, cell("%d", n), cell("%zu", g.num_edges()),
+               cell("%d", k), cell("%d", cap),
+               cell("%.2f", static_cast<double>(k) / cap),
+               contains_subgraph(g, h) ? "NO (!)" : "yes"});
+  };
+
+  for (std::uint64_t q : {5, 7, 11}) {
+    add("polarity ER_q", polarity_graph(q), cycle_graph(4), "C4");
+  }
+  for (int n : {40, 80, 160}) {
+    add("K_{n/2,n/2}", complete_bipartite(n / 2, n / 2), complete_graph(3), "K3");
+    add("K_{n/2,n/2}", complete_bipartite(n / 2, n / 2), cycle_graph(5), "C5");
+    add("Turan(n,3)", turan_graph(n, 3), complete_graph(4), "K4");
+  }
+  for (int n : {60, 120}) {
+    add("random tree", random_tree(n, rng), cycle_graph(4), "C4");
+    Graph hg = high_girth_graph(n, 6, rng);
+    add("girth>6 greedy", hg, cycle_graph(6), "C6");
+  }
+  t.print();
+  std::printf("shape check: every ratio <= 1 and every row H-free; extremal "
+              "families sit closest to the cap (the factor-4 slack of the "
+              "claim is visible as ratios near 0.25-0.5)\n");
+  return 0;
+}

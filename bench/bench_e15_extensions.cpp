@@ -1,0 +1,123 @@
+// E15 — extension workloads: the classical congested-clique problems the
+// paper's Section 1 frames the model around.
+//
+//   (a) general d-vertex subgraph detection, [8]: Õ(n^{(d-2)/d}) rounds;
+//   (b) MST (Borůvka schedule; [30] reached O(log log n)) — O(log n) phases;
+//   (c) sorting ([32]/[28]) — O(1) phases over the routing substrate;
+//   (d) CONGEST C4 detection (paper's full-version claim):
+//       O(sqrt(n) log n / b) on near-extremal inputs.
+#include <cmath>
+
+#include "bench_util.h"
+#include "core/congest_c4.h"
+#include "core/dlp_subgraph.h"
+#include "core/mst.h"
+#include "core/sorting.h"
+#include "graph/extremal.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+#include "util/rng.h"
+
+using namespace cclique;
+using benchutil::Table;
+using benchutil::cell;
+
+int main() {
+  benchutil::banner(
+      "E15: extension workloads (Section 1 context: [8], [30], [32], [28], "
+      "full-version C4)",
+      "subgraph detection ~n^{(d-2)/d}; MST in O(log n) Borůvka phases; "
+      "sorting in O(1) phases; CONGEST C4 ~sqrt(n) log n / b");
+  Rng rng(15);
+
+  // (a) general subgraph detection: d sweep at fixed n.
+  Table a({"pattern", "d", "n", "groups t", "rounds", "detected", "truth",
+           "rounds/n^{(d-2)/d}"});
+  for (int n : {64, 128}) {
+    Graph g = gnp(n, 0.3, rng);
+    struct P {
+      const char* name;
+      Graph h;
+    };
+    std::vector<P> patterns;
+    patterns.push_back({"K3", complete_graph(3)});
+    patterns.push_back({"C4", cycle_graph(4)});
+    patterns.push_back({"K4", complete_graph(4)});
+    patterns.push_back({"C5", cycle_graph(5)});
+    for (auto& p : patterns) {
+      const int d = p.h.num_vertices();
+      CliqueUnicast net(n, 32);
+      auto r = dlp_subgraph_detect(net, g, p.h);
+      const double pred = std::pow(n, (d - 2.0) / d);
+      a.add_row({p.name, cell("%d", d), cell("%d", n), cell("%d", r.groups),
+                 cell("%d", r.stats.rounds),
+                 r.detected ? "yes" : "no",
+                 contains_subgraph(g, p.h) ? "yes" : "no",
+                 cell("%.2f", r.stats.rounds / pred)});
+    }
+  }
+  std::printf("--- (a) [8] general detection: normalized rounds flat per pattern ---\n");
+  a.print();
+
+  // (b) MST.
+  Table b({"n", "graph", "phases", "rounds", "tree edges", "weight ok"});
+  for (int n : {16, 32, 64}) {
+    Graph g = gnp(n, 0.5, rng);
+    std::vector<std::uint32_t> w(g.edges().size());
+    for (auto& x : w) x = static_cast<std::uint32_t>(rng.uniform(1 << 20));
+    CliqueUnicast net(n, 64);
+    auto r = clique_mst(net, g, w);
+    auto ref = kruskal_reference(g, w);
+    std::uint64_t ref_weight = 0;
+    for (const auto& e : ref) ref_weight += e.weight;
+    b.add_row({cell("%d", n), "G(n,0.5)", cell("%d", r.phases),
+               cell("%d", r.stats.rounds), cell("%zu", r.tree.size()),
+               r.total_weight == ref_weight ? "yes" : "NO"});
+  }
+  std::printf("--- (b) MST: phases <= log2 n, O(1) rounds per phase ---\n");
+  b.print();
+
+  // (c) sorting.
+  Table c({"n", "keys/player", "rounds", "total bits", "sorted ok"});
+  for (int n : {16, 32, 64}) {
+    std::vector<std::vector<std::uint32_t>> inputs(static_cast<std::size_t>(n));
+    std::vector<std::uint32_t> all;
+    for (auto& block : inputs) {
+      block.resize(static_cast<std::size_t>(n));
+      for (auto& x : block) {
+        x = static_cast<std::uint32_t>(rng.uniform(1u << 30));
+        all.push_back(x);
+      }
+    }
+    CliqueUnicast net(n, 64);
+    auto r = clique_sort(net, inputs);
+    std::sort(all.begin(), all.end());
+    std::vector<std::uint32_t> got;
+    for (const auto& blk : r.blocks) {
+      for (auto x : blk) got.push_back(x);
+    }
+    c.add_row({cell("%d", n), cell("%d", n), cell("%d", r.stats.rounds),
+               cell("%llu", static_cast<unsigned long long>(r.stats.total_bits)),
+               got == all ? "yes" : "NO"});
+  }
+  std::printf("--- (c) sorting: rounds ~constant in n at n keys/player ---\n");
+  c.print();
+
+  // (d) CONGEST C4 on near-extremal inputs.
+  Table d_tab({"input", "n", "max deg", "rounds", "detected",
+               "rounds/(sqrt(n) log n / b)"});
+  const int bw = 8;
+  for (std::uint64_t q : {5, 7, 11, 13}) {
+    Graph er = polarity_graph(q);
+    auto r = congest_c4_detect(er, bw);
+    const double n = er.num_vertices();
+    const double pred = std::sqrt(n) * std::log2(n) / bw;
+    d_tab.add_row({cell("ER_%llu", static_cast<unsigned long long>(q)),
+                   cell("%.0f", n), cell("%d", r.max_degree),
+                   cell("%d", r.stats.rounds), r.detected ? "yes" : "no",
+                   cell("%.2f", r.stats.rounds / pred)});
+  }
+  std::printf("--- (d) CONGEST C4 on C4-free extremal inputs (hardest 'no') ---\n");
+  d_tab.print();
+  return 0;
+}

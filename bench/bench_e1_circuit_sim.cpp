@@ -1,0 +1,66 @@
+// E1 — Theorem 2: a depth-D circuit of b-separable gates with n^2 s wires
+// runs in O(D) rounds on CLIQUE-UCAST at bandwidth O(b+s).
+//
+// Measured: rounds / depth ratio across circuit families and player counts.
+// The theorem's shape holds if the ratio stays bounded as n grows and as
+// depth grows (at fixed family).
+#include "bench_util.h"
+#include "circuit/builders.h"
+#include "comm/clique_unicast.h"
+#include "core/circuit_sim.h"
+#include "util/rng.h"
+
+using namespace cclique;
+using benchutil::Table;
+using benchutil::cell;
+
+namespace {
+
+void run_family(const char* name, Table& table, const Circuit& c, int n, Rng& rng) {
+  CircuitSimulation sim(c, n);
+  std::vector<bool> inputs(static_cast<std::size_t>(c.num_inputs()));
+  for (auto&& x : inputs) x = rng.coin();
+  CliqueUnicast net(n, sim.plan().recommended_bandwidth);
+  auto result = sim.run_round_robin(net, inputs);
+  const bool ok = result.outputs[0] == c.evaluate(inputs)[0];
+  const int depth = c.depth();
+  table.add_row({cell("%s", name), cell("%d", n), cell("%d", depth),
+                 cell("%zu", c.num_wires()), cell("%d", sim.plan().s),
+                 cell("%d", sim.plan().heavy_gates),
+                 cell("%d", sim.plan().recommended_bandwidth),
+                 cell("%d", result.stats.rounds),
+                 cell("%.1f", static_cast<double>(result.stats.rounds) /
+                                  std::max(1, depth)),
+                 ok ? "yes" : "NO"});
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner(
+      "E1: Theorem 2 — circuit simulation on CLIQUE-UCAST",
+      "depth-D circuits of b-separable gates, n^2 s wires -> O(D) rounds at "
+      "bandwidth O(b+s); rounds/depth must stay bounded in n and in depth");
+  Rng rng(1);
+
+  Table by_n({"circuit", "players", "depth", "wires", "s", "heavy", "bw",
+              "rounds", "rounds/depth", "correct"});
+  for (int n : {8, 16, 32}) {
+    run_family("parity-tree(f=4)", by_n, parity_tree(n * n, 4), n, rng);
+    run_family("MOD6-of-MOD6", by_n, mod_mod_circuit(n * n, 6, 2 * n, 12, rng), n, rng);
+    run_family("majority", by_n, majority(n * n), n, rng);
+  }
+  std::printf("--- scaling n at fixed family (ratio column should stay flat) ---\n");
+  by_n.print();
+
+  Table by_depth({"circuit", "players", "depth", "wires", "s", "heavy", "bw",
+                  "rounds", "rounds/depth", "correct"});
+  const int n = 12;
+  for (int depth : {2, 4, 8, 16}) {
+    run_family("random-layered", by_depth,
+               random_layered_circuit(n * n, 2 * n, depth, 6, rng), n, rng);
+  }
+  std::printf("--- scaling depth at fixed n (rounds should track depth) ---\n");
+  by_depth.print();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// E3 — [8] baseline on CLIQUE-UCAST: deterministic Õ(n^{1/3}) triangle
+// detection, and Õ(n^{1/3}/T^{2/3}) with a promise of >= T triangles.
+//
+// Measured: (a) rounds vs n for the deterministic algorithm, with the
+// n^{1/3} reference series; (b) rounds vs promised T at fixed n for the
+// randomized variant, with the T^{-2/3} reference.
+#include <cmath>
+
+#include "bench_util.h"
+#include "comm/clique_unicast.h"
+#include "core/dlp_triangle.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+#include "util/rng.h"
+
+using namespace cclique;
+using benchutil::Table;
+using benchutil::cell;
+
+int main() {
+  benchutil::banner(
+      "E3: Dolev–Lenzen–Peled triangle detection (the paper's baseline [8])",
+      "deterministic ~n^{1/3} rounds; with >= T triangles, ~n^{1/3}/T^{2/3}");
+  Rng rng(3);
+
+  Table a({"n", "groups t", "rounds", "bits", "detected", "truth",
+           "rounds/n^{1/3}"});
+  for (int n : {32, 64, 128, 256}) {
+    // Dense inputs: the algorithm's cost is dominated by routing the
+    // Θ(n^{4/3}) edges each player's group triple spans, which is the
+    // regime the n^{1/3} bound describes (sparse inputs sit at the
+    // addressing floor).
+    Graph g = gnp(n, 0.5, rng);
+    const bool truth = count_triangles(g) > 0;
+    CliqueUnicast net(n, 32);
+    auto r = dlp_triangle_detect(net, g);
+    a.add_row({cell("%d", n), cell("%d", r.groups), cell("%d", r.stats.rounds),
+               cell("%llu", static_cast<unsigned long long>(r.stats.total_bits)),
+               r.detected ? "yes" : "no", truth ? "yes" : "no",
+               cell("%.2f", r.stats.rounds / std::cbrt(static_cast<double>(n)))});
+  }
+  std::printf("--- (a) deterministic: rounds vs n (last column should flatten) ---\n");
+  a.print();
+
+  Table b({"n", "promise T", "actual T", "groups t", "rounds", "detected",
+           "rounds*T^{2/3}"});
+  const int n = 128;
+  for (double density : {0.15, 0.3, 0.6}) {
+    Graph g = gnp(n, density, rng);
+    const std::uint64_t t_actual = count_triangles(g);
+    if (t_actual == 0) continue;
+    const std::uint64_t promise = t_actual / 2 + 1;
+    CliqueUnicast net(n, 32);
+    auto r = dlp_triangle_detect_promised(net, g, promise, /*runs=*/2, rng);
+    b.add_row({cell("%d", n), cell("%llu", static_cast<unsigned long long>(promise)),
+               cell("%llu", static_cast<unsigned long long>(t_actual)),
+               cell("%d", r.groups), cell("%d", r.stats.rounds),
+               r.detected ? "yes" : "no",
+               cell("%.1f", r.stats.rounds *
+                                std::pow(static_cast<double>(promise), 2.0 / 3.0))});
+  }
+  std::printf("--- (b) promised-T acceleration at n=%d (rounds shrink as T grows) ---\n", n);
+  b.print();
+  return 0;
+}

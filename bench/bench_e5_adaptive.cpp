@@ -1,0 +1,67 @@
+// E5 — Theorem 9: the adaptive algorithm (unknown ex(n,H)) detects H in
+// O(ex log^2 n/(nb)) rounds when H-free, O(ex log^2 n/(nb) + log^3 n/b)
+// w.h.p. when H is present.
+//
+// Measured: rounds and verdicts for H-free vs planted inputs across n,
+// plus where in the (guess k_i, level j) schedule the algorithm stopped —
+// the paper's claim is that H-containing inputs exit *early* at a sparse
+// level, H-free inputs exit at (j=0, k ~ degeneracy).
+#include "bench_util.h"
+#include "comm/clique_broadcast.h"
+#include "core/adaptive_detect.h"
+#include "core/turan_detect.h"
+#include "graph/extremal.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+#include "util/rng.h"
+
+using namespace cclique;
+using benchutil::Table;
+using benchutil::cell;
+
+int main() {
+  benchutil::banner(
+      "E5: Theorem 9 — adaptive detection with unknown Turán number",
+      "H-free: exact 'no' in O(ex log^2 n/(nb)); H present: copy found "
+      "w.h.p. in O(ex log^2 n/(nb) + log^3 n/b); doubling guesses k_i, "
+      "sampling levels G_j");
+  Rng rng(5);
+  const int b = 16;
+  const Graph h = cycle_graph(4);
+
+  Table t({"input", "n", "rounds", "bits", "verdict", "truth", "k_i", "level j",
+           "A-runs", "vs Thm7 rounds"});
+  for (int n : {32, 64}) {
+    // H-free worst case: dense C4-free graph.
+    Graph free_g = dense_cl_free_graph(n, 4, rng);
+    // H-present: same plus a planted C4 (hard: still near-extremal).
+    Graph planted = free_g;
+    plant_subgraph(planted, h, rng);
+    // H-present easy: dense random.
+    Graph dense = gnp(n, 0.4, rng);
+
+    struct Case {
+      const char* name;
+      const Graph* g;
+    } cases[] = {{"C4-free extremal", &free_g},
+                 {"extremal+planted", &planted},
+                 {"dense random", &dense}};
+    for (const auto& c : cases) {
+      CliqueBroadcast net(n, b);
+      auto r = adaptive_subgraph_detect(net, *c.g, h, rng);
+      CliqueBroadcast net7(n, b);
+      auto r7 = turan_subgraph_detect(net7, *c.g, h);
+      const bool truth = contains_subgraph(*c.g, h);
+      t.add_row({c.name, cell("%d", n), cell("%d", r.stats.rounds),
+                 cell("%llu", static_cast<unsigned long long>(r.stats.total_bits)),
+                 r.contains_h ? "yes" : "no", truth ? "yes" : "no",
+                 cell("%d", r.final_guess), cell("%d", r.final_level),
+                 cell("%d", r.reconstruction_runs), cell("%d", r7.stats.rounds)});
+    }
+  }
+  t.print();
+  std::printf("expected shape: dense inputs exit at level j > 0 with small "
+              "k_i (cheap); H-free inputs pay the full doubling ladder to "
+              "j=0 — the log^2 factor over Theorem 7's informed run\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// E8 — Theorem 22: K_{l,m} detection requires Ω(sqrt(n)/b) rounds.
+//
+// Measured: Lemma 21 gadgets over the bipartite C4-free carrier
+// (Observation 20 + PG(2,q) incidence graphs): carrier density vs the
+// N^{3/2} prediction, reduction correctness, implied bound vs n.
+// Note the machine-verified restriction to l = m (DESIGN.md §4b).
+#include <cmath>
+
+#include "bench_util.h"
+#include "core/turan_detect.h"
+#include "graph/generators.h"
+#include "lowerbound/bipartite_lb.h"
+#include "lowerbound/disjointness_reduction.h"
+#include "util/rng.h"
+
+using namespace cclique;
+using benchutil::Table;
+using benchutil::cell;
+
+int main() {
+  benchutil::banner(
+      "E8: Theorem 22 — K_{l,l} detection requires Ω(sqrt(n)/b) rounds",
+      "carrier = bipartite C4-free with Θ(N^{3/2}) edges -> rounds >= "
+      "Θ(N^{3/2})/(nb) = Ω(sqrt(n)/b). (l != m: see DESIGN.md §4b gap)");
+  Rng rng(8);
+  const int b = 8;
+
+  Table t({"l=m", "N", "n(G')", "|E_F|", "|E_F|/N^{3/2}", "reduction ok",
+           "LB rounds", "LB*b/sqrt(n)", "measured UB"});
+  for (int l : {2, 3}) {
+    for (int big_n : {16, 32, 64, 128}) {
+      auto lbg = bipartite_lower_bound_graph(l, l, big_n);
+      const std::size_t m = lbg.f.edges().size();
+      if (m == 0) continue;
+      const Graph h = complete_bipartite(l, l);
+      BroadcastDetector detect = [&h](CliqueBroadcast& net, const Graph& g) {
+        return full_broadcast_detect(net, g, h).contains_h;
+      };
+      int correct = 0;
+      int ub_rounds = 0;
+      const int trials = 4;
+      for (int t_i = 0; t_i < trials; ++t_i) {
+        DisjointnessInstance inst =
+            (t_i % 2 == 0) ? random_disjoint_instance(m, 0.4, rng)
+                           : random_intersecting_instance(m, 0.4, rng);
+        auto out = solve_disjointness_via_detection(lbg, inst, b, detect);
+        correct += out.correct ? 1 : 0;
+        ub_rounds = out.detection_rounds;
+      }
+      const double n_gp = static_cast<double>(lbg.g_prime.num_vertices());
+      const double lb = static_cast<double>(m) / (n_gp * b);
+      t.add_row({cell("%d", l), cell("%d", big_n), cell("%.0f", n_gp),
+                 cell("%zu", m),
+                 cell("%.2f", static_cast<double>(m) / std::pow(big_n, 1.5)),
+                 cell("%d/%d", correct, trials), cell("%.3f", lb),
+                 cell("%.3f", lb * b / std::sqrt(n_gp)),
+                 cell("%d", ub_rounds)});
+    }
+  }
+  t.print();
+  std::printf("shape check: |E_F|/N^{3/2} flat (carrier is extremal-order); "
+              "LB*b/sqrt(n) flat => the bound is Ω(sqrt(n)/b)\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// E9 — Theorem 24 / Corollary 25: triangle detection vs 3-party NOF set
+// disjointness on Ruzsa–Szemerédi graphs.
+//
+// Measured: (a) the RS-family statistics — triangle count m(n) vs the
+// n^2/e^{O(sqrt(log n))} claim of Claim 23 (reported as the density ratio
+// m(n)/n^2, which decays subpolynomially); (b) the reduction executed end
+// to end; (c) the implied deterministic round bound m/(nb) vs n
+// (Corollary 25's Ω(n/(e^{O(sqrt(log n))} b)) shape).
+#include <cmath>
+
+#include "bench_util.h"
+#include "core/turan_detect.h"
+#include "graph/generators.h"
+#include "lowerbound/nof_reduction.h"
+#include "util/rng.h"
+
+using namespace cclique;
+using benchutil::Table;
+using benchutil::cell;
+
+int main() {
+  benchutil::banner(
+      "E9: Theorem 24 / Corollary 25 — NOF disjointness vs triangles",
+      "RS graphs carry m = n^2/e^{O(sqrt(log n))} edge-disjoint triangles; "
+      "R rounds of BCAST triangle detection -> O(nbR) bits of 3-NOF "
+      "communication; deterministic bound Ω(n/(e^{O(sqrt(log n))} b))");
+  Rng rng(9);
+  const int b = 8;
+
+  BroadcastTriangleDetector detect = [](CliqueBroadcast& net, const Graph& g) {
+    return full_broadcast_detect(net, g, complete_graph(3)).contains_h;
+  };
+
+  Table t({"param", "n(RS)", "triangles m", "m/n^2", "reduction ok",
+           "avg NOF bits", "LB rounds m/(nb)", "LB*b/n"});
+  for (int param : {8, 16, 32, 64, 128}) {
+    const RuzsaSzemerediGraph rs = ruzsa_szemeredi_graph(param);
+    const std::size_t m = rs.triangles.size();
+    const double n = static_cast<double>(rs.graph.num_vertices());
+    int correct = 0;
+    std::uint64_t bits = 0;
+    const int trials = param <= 32 ? 6 : 2;
+    for (int t_i = 0; t_i < trials; ++t_i) {
+      NofDisjointnessInstance inst =
+          (t_i % 2 == 0) ? random_nof_disjoint(m, 0.5, rng)
+                         : random_nof_intersecting(m, 0.5, rng);
+      auto out = solve_nof_disjointness_via_triangles(rs, inst, b, detect);
+      correct += out.correct ? 1 : 0;
+      bits += out.blackboard_bits;
+    }
+    const double lb = implied_triangle_round_bound(rs, b);
+    t.add_row({cell("%d", param), cell("%.0f", n), cell("%zu", m),
+               cell("%.4f", static_cast<double>(m) / (n * n)),
+               cell("%d/%d", correct, trials),
+               cell("%.0f", static_cast<double>(bits) / trials),
+               cell("%.2f", lb), cell("%.4f", lb * b / n)});
+  }
+  t.print();
+  std::printf("shape check: m/n^2 decays slowly (the e^{-O(sqrt(log n))} "
+              "factor); LB*b/n approaches a slowly-decaying constant — the "
+              "near-linear deterministic bound of Corollary 25\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Wall-clock microbenchmarks of the substrates (google-benchmark).
+//
+// The experiment harnesses (bench_e*.cpp) measure protocol complexity in
+// rounds/bits; this binary measures the *simulator's* own speed, which is
+// what bounds the reachable experiment scale.
+#include <benchmark/benchmark.h>
+
+#include "graph/degeneracy.h"
+#include "graph/generators.h"
+#include "graph/ruzsa_szemeredi.h"
+#include "graph/subgraph.h"
+#include "linalg/f2matrix.h"
+#include "routing/router.h"
+#include "sketch/sketch.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cclique;
+
+void BM_F2MultiplyNaive(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const F2Matrix a = F2Matrix::random(n, rng);
+  const F2Matrix b = F2Matrix::random(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f2_multiply_naive(a, b));
+  }
+}
+BENCHMARK(BM_F2MultiplyNaive)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_F2MultiplyStrassen(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  const F2Matrix a = F2Matrix::random(n, rng);
+  const F2Matrix b = F2Matrix::random(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f2_multiply_strassen(a, b, 64));
+  }
+}
+BENCHMARK(BM_F2MultiplyStrassen)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_TriangleCount(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  const Graph g = gnp(n, 0.1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(count_triangles(g));
+  }
+}
+BENCHMARK(BM_TriangleCount)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_Degeneracy(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(4);
+  const Graph g = gnp(n, 0.1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_degeneracy(g));
+  }
+}
+BENCHMARK(BM_Degeneracy)->Arg(128)->Arg(512);
+
+void BM_SketchDecode(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  const Graph g = gnp(n, 4.0 / n, rng);
+  const int k = std::max(1, compute_degeneracy(g).degeneracy);
+  std::vector<NodeSketch> sketches;
+  for (int v = 0; v < n; ++v) sketches.push_back(make_sketch(g, v, k));
+  for (auto _ : state) {
+    auto copy = sketches;
+    benchmark::DoNotOptimize(reconstruct_from_sketches(std::move(copy), k, n));
+  }
+}
+BENCHMARK(BM_SketchDecode)->Arg(64)->Arg(128);
+
+void BM_TwoPhaseRouting(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(6);
+  RoutingDemand d;
+  d.payload_bits = 8;
+  for (int v = 0; v < n; ++v) {
+    for (int k = 0; k < n; ++k) {
+      d.messages.push_back(
+          RoutedMessage{v, static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n))), 0x42});
+    }
+  }
+  for (auto _ : state) {
+    CliqueUnicast net(n, 32);
+    benchmark::DoNotOptimize(route_two_phase(net, d));
+  }
+}
+BENCHMARK(BM_TwoPhaseRouting)->Arg(16)->Arg(32);
+
+void BM_BehrendSet(benchmark::State& state) {
+  const std::uint64_t m = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(behrend_set(m));
+  }
+}
+BENCHMARK(BM_BehrendSet)->Arg(1000)->Arg(10000);
+
+void BM_SubgraphSearchC4(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  const Graph g = gnp(n, 2.0 / n, rng);
+  const Graph h = cycle_graph(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(contains_subgraph(g, h));
+  }
+}
+BENCHMARK(BM_SubgraphSearchC4)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Shared console-table helpers for the experiment harnesses.
+//
+// These benches reproduce *round/bit complexity* claims, so the primary
+// output is measured protocol cost (exact, deterministic given the seed),
+// not wall-clock time; each binary prints the series the corresponding
+// theorem predicts next to the measurement. Wall-clock microbenchmarks of
+// the substrates live in bench_micro.cpp (google-benchmark).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cclique::benchutil {
+
+/// Prints the experiment banner.
+inline void banner(const char* id, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", id);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("==============================================================\n");
+}
+
+/// printf-append into a row cell.
+inline std::string cell(const char* fmt, ...) {
+  char buf[128];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return std::string(buf);
+}
+
+/// Fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        if (row[c].size() > width[c]) width[c] = row[c].size();
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(width[c]), row[c].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    for (const auto& row : rows_) print_row(row);
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cclique::benchutil

@@ -1,0 +1,51 @@
+// Quickstart: simulate triangle detection in both congested-clique regimes.
+//
+// Builds a random graph with a planted triangle, then runs
+//   (1) the deterministic Dolev–Lenzen–Peled detector on CLIQUE-UCAST, and
+//   (2) the Theorem 7 Turán-bound detector on CLIQUE-BCAST,
+// printing the exact round and bit accounting the engines measured.
+//
+//   ./quickstart [n] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "comm/clique_broadcast.h"
+#include "comm/clique_unicast.h"
+#include "core/dlp_triangle.h"
+#include "core/turan_detect.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace cclique;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 32;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+  const int bandwidth = 32;
+
+  Rng rng(seed);
+  Graph g = gnp(n, 2.0 / n, rng);
+  plant_subgraph(g, complete_graph(3), rng);
+  std::printf("input: n=%d, m=%zu edges, %llu triangles (ground truth)\n", n,
+              g.num_edges(),
+              static_cast<unsigned long long>(count_triangles(g)));
+
+  {
+    CliqueUnicast net(n, bandwidth);
+    const DlpResult r = dlp_triangle_detect(net, g);
+    std::printf("CLIQUE-UCAST  (DLP, deterministic): detected=%s  rounds=%d  "
+                "total_bits=%llu  groups=%d\n",
+                r.detected ? "yes" : "no", r.stats.rounds,
+                static_cast<unsigned long long>(r.stats.total_bits), r.groups);
+  }
+  {
+    CliqueBroadcast net(n, bandwidth);
+    const TuranDetectResult r = turan_subgraph_detect(net, g, complete_graph(3));
+    std::printf("CLIQUE-BCAST  (Theorem 7 sketches):  detected=%s  rounds=%d  "
+                "total_bits=%llu  degeneracy_cap=%d  reconstructed=%s\n",
+                r.contains_h ? "yes" : "no", r.stats.rounds,
+                static_cast<unsigned long long>(r.stats.total_bits),
+                r.degeneracy_cap, r.reconstructed ? "yes" : "no");
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Broadcast-clique subgraph detection, the Section 3.1 toolkit end to end:
+// known Turán number (Theorem 7) vs the adaptive algorithm (Theorem 9).
+//
+// Detects a C4 in (a) a C4-free extremal polarity graph and (b) the same
+// graph with one planted C4 — the adversarial pair for this problem — and
+// reports rounds, bits, and which level of the sampling hierarchy the
+// adaptive algorithm stopped at.
+//
+//   ./subgraph_detection [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "comm/clique_broadcast.h"
+#include "core/adaptive_detect.h"
+#include "core/turan_detect.h"
+#include "graph/extremal.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+#include "util/rng.h"
+
+namespace {
+
+void detect_both_ways(const char* label, const cclique::Graph& g,
+                      const cclique::Graph& h, cclique::Rng& rng) {
+  using namespace cclique;
+  const int n = g.num_vertices();
+  const int b = 16;
+  {
+    CliqueBroadcast net(n, b);
+    auto r = turan_subgraph_detect(net, g, h);
+    std::printf("  Theorem 7 : %-3s  rounds=%-5d bits=%-9llu cap=%d\n",
+                r.contains_h ? "yes" : "no", r.stats.rounds,
+                static_cast<unsigned long long>(r.stats.total_bits),
+                r.degeneracy_cap);
+  }
+  {
+    CliqueBroadcast net(n, b);
+    auto r = adaptive_subgraph_detect(net, g, h, rng);
+    std::printf("  Theorem 9 : %-3s  rounds=%-5d bits=%-9llu guess=%d level=%d "
+                "runs=%d\n",
+                r.contains_h ? "yes" : "no", r.stats.rounds,
+                static_cast<unsigned long long>(r.stats.total_bits),
+                r.final_guess, r.final_level, r.reconstruction_runs);
+  }
+  (void)label;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cclique;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3;
+  Rng rng(seed);
+
+  const Graph h = cycle_graph(4);
+  Graph hard_no = polarity_graph(7);  // C4-free, Θ(n^{3/2}) edges: worst case
+  std::printf("C4-free polarity graph ER_7 (n=%d, m=%zu):\n",
+              hard_no.num_vertices(), hard_no.num_edges());
+  detect_both_ways("C4-free", hard_no, h, rng);
+
+  Graph hard_yes = hard_no;
+  plant_subgraph(hard_yes, h, rng);
+  std::printf("same graph + one planted C4 (contains C4: %s):\n",
+              contains_cycle(hard_yes, 4) ? "yes" : "no");
+  detect_both_ways("planted", hard_yes, h, rng);
+
+  // A sparse case where Theorem 7's advantage is extreme: tree patterns in
+  // a forest have constant-size sketches.
+  Graph forest = random_tree(hard_no.num_vertices(), rng);
+  std::printf("random tree, detect P4 (tree pattern => O(log n / b) rounds):\n");
+  detect_both_ways("tree", forest, path_graph(4), rng);
+  return 0;
+}

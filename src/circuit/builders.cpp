@@ -1,0 +1,108 @@
+#include "circuit/builders.h"
+
+#include <algorithm>
+
+namespace cclique {
+
+namespace {
+
+Circuit tree_of(GateKind kind, int n, int fanin) {
+  CC_REQUIRE(n >= 1, "need at least one input");
+  CC_REQUIRE(fanin >= 2, "fan-in must be at least 2");
+  Circuit c;
+  std::vector<int> level;
+  level.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) level.push_back(c.add_input());
+  while (level.size() > 1) {
+    std::vector<int> next;
+    for (std::size_t i = 0; i < level.size(); i += static_cast<std::size_t>(fanin)) {
+      const std::size_t end = std::min(level.size(), i + static_cast<std::size_t>(fanin));
+      std::vector<int> group(level.begin() + static_cast<std::ptrdiff_t>(i),
+                             level.begin() + static_cast<std::ptrdiff_t>(end));
+      if (group.size() == 1) {
+        next.push_back(group[0]);  // pass through
+      } else {
+        next.push_back(c.add_gate(kind, std::move(group)));
+      }
+    }
+    level = std::move(next);
+  }
+  c.mark_output(level[0]);
+  return c;
+}
+
+}  // namespace
+
+Circuit parity_tree(int n, int fanin) { return tree_of(GateKind::kXor, n, fanin); }
+
+Circuit and_tree(int n, int fanin) { return tree_of(GateKind::kAnd, n, fanin); }
+
+Circuit majority(int n) {
+  CC_REQUIRE(n >= 1, "need at least one input");
+  Circuit c;
+  std::vector<int> ins;
+  ins.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) ins.push_back(c.add_input());
+  const int out = c.add_threshold(std::move(ins), (n + 1) / 2);
+  c.mark_output(out);
+  return c;
+}
+
+Circuit mod_mod_circuit(int n, int m, int bottom_gates, int bottom_fanin, Rng& rng) {
+  CC_REQUIRE(bottom_fanin >= 1 && bottom_fanin <= n, "bottom fan-in out of range");
+  Circuit c;
+  std::vector<int> ins;
+  ins.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) ins.push_back(c.add_input());
+  std::vector<int> bottom;
+  bottom.reserve(static_cast<std::size_t>(bottom_gates));
+  for (int gidx = 0; gidx < bottom_gates; ++gidx) {
+    std::vector<int> wires;
+    wires.reserve(static_cast<std::size_t>(bottom_fanin));
+    for (int k = 0; k < bottom_fanin; ++k) {
+      wires.push_back(ins[rng.uniform(static_cast<std::uint64_t>(n))]);
+    }
+    bottom.push_back(c.add_mod(std::move(wires), m));
+  }
+  const int top = c.add_mod(std::move(bottom), m);
+  c.mark_output(top);
+  return c;
+}
+
+Circuit random_layered_circuit(int n_inputs, int width, int depth, int fanin,
+                               Rng& rng) {
+  CC_REQUIRE(n_inputs >= 1 && width >= 1 && depth >= 1 && fanin >= 1,
+             "random circuit parameters must be positive");
+  Circuit c;
+  std::vector<int> prev;
+  prev.reserve(static_cast<std::size_t>(n_inputs));
+  for (int i = 0; i < n_inputs; ++i) prev.push_back(c.add_input());
+  for (int layer = 0; layer < depth; ++layer) {
+    std::vector<int> cur;
+    cur.reserve(static_cast<std::size_t>(width));
+    for (int gidx = 0; gidx < width; ++gidx) {
+      std::vector<int> wires;
+      const int f = 1 + static_cast<int>(rng.uniform(static_cast<std::uint64_t>(fanin)));
+      wires.reserve(static_cast<std::size_t>(f));
+      for (int k = 0; k < f; ++k) {
+        wires.push_back(prev[rng.uniform(prev.size())]);
+      }
+      switch (rng.uniform(5)) {
+        case 0: cur.push_back(c.add_gate(GateKind::kAnd, std::move(wires))); break;
+        case 1: cur.push_back(c.add_gate(GateKind::kOr, std::move(wires))); break;
+        case 2: cur.push_back(c.add_gate(GateKind::kXor, std::move(wires))); break;
+        case 3: cur.push_back(c.add_mod(std::move(wires), 2 + static_cast<int>(rng.uniform(5)))); break;
+        default:
+          cur.push_back(c.add_threshold(
+              std::move(wires), 1 + static_cast<int>(rng.uniform(static_cast<std::uint64_t>(f)))));
+          break;
+      }
+    }
+    prev = std::move(cur);
+  }
+  const int out = prev.size() == 1 ? prev[0] : c.add_gate(GateKind::kXor, prev);
+  c.mark_output(out);
+  return c;
+}
+
+}  // namespace cclique

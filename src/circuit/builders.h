@@ -1,0 +1,36 @@
+// Circuit builders: the concrete circuit families of Section 2.
+//
+// These are the workloads the Theorem 2 simulation is benchmarked on —
+// bounded-depth parity / MOD_m / threshold circuits (the classes TC0, ACC,
+// CC the paper connects to), plus random layered circuits for fuzzing.
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "util/rng.h"
+
+namespace cclique {
+
+/// Parity of `n` inputs as a tree of XOR gates with fan-in `fanin`
+/// (depth ceil(log_fanin n)).
+Circuit parity_tree(int n, int fanin);
+
+/// AND of n inputs as a fan-in-`fanin` tree.
+Circuit and_tree(int n, int fanin);
+
+/// Majority of n inputs: one unweighted threshold gate (depth 1).
+Circuit majority(int n);
+
+/// Depth-2 CC[m]-style circuit: a MODm gate over MODm gates, each bottom
+/// gate over a random subset of inputs of the given size.
+Circuit mod_mod_circuit(int n, int m, int bottom_gates, int bottom_fanin, Rng& rng);
+
+/// Random layered circuit: `width` gates per layer, `depth` layers, each
+/// gate a random kind over `fanin` random wires from the previous layer.
+/// Output = XOR of the last layer. Used for differential fuzzing of the
+/// Theorem 2 compiler against direct evaluation.
+Circuit random_layered_circuit(int n_inputs, int width, int depth, int fanin,
+                               Rng& rng);
+
+}  // namespace cclique

@@ -1,0 +1,321 @@
+#include "circuit/circuit.h"
+
+#include <algorithm>
+
+#include "util/math_util.h"
+
+namespace cclique {
+
+int Circuit::add(Gate g) {
+  for (int in : g.inputs) {
+    CC_REQUIRE(in >= 0 && in < num_gates(),
+               "gate inputs must reference earlier gates (DAG order)");
+  }
+  gates_.push_back(std::move(g));
+  return num_gates() - 1;
+}
+
+int Circuit::add_input() {
+  Gate g;
+  g.kind = GateKind::kInput;
+  const int id = add(std::move(g));
+  input_ids_.push_back(id);
+  return id;
+}
+
+int Circuit::add_const(bool value) {
+  Gate g;
+  g.kind = GateKind::kConst;
+  g.const_value = value;
+  return add(std::move(g));
+}
+
+int Circuit::add_not(int input) {
+  Gate g;
+  g.kind = GateKind::kNot;
+  g.inputs = {input};
+  return add(std::move(g));
+}
+
+int Circuit::add_gate(GateKind kind, std::vector<int> inputs) {
+  CC_REQUIRE(kind == GateKind::kAnd || kind == GateKind::kOr ||
+                 kind == GateKind::kXor,
+             "add_gate only handles AND/OR/XOR; use the dedicated adders");
+  CC_REQUIRE(!inputs.empty(), "gate needs at least one input");
+  Gate g;
+  g.kind = kind;
+  g.inputs = std::move(inputs);
+  return add(std::move(g));
+}
+
+int Circuit::add_mod(std::vector<int> inputs, int m) {
+  CC_REQUIRE(m >= 2, "MODm gate needs m >= 2");
+  CC_REQUIRE(!inputs.empty(), "gate needs at least one input");
+  Gate g;
+  g.kind = GateKind::kMod;
+  g.inputs = std::move(inputs);
+  g.modulus = m;
+  return add(std::move(g));
+}
+
+int Circuit::add_threshold(std::vector<int> inputs, int t) {
+  CC_REQUIRE(!inputs.empty(), "gate needs at least one input");
+  CC_REQUIRE(t >= 0, "threshold must be non-negative");
+  Gate g;
+  g.kind = GateKind::kThreshold;
+  g.inputs = std::move(inputs);
+  g.threshold = t;
+  return add(std::move(g));
+}
+
+int Circuit::add_weighted_threshold(std::vector<int> inputs,
+                                    std::vector<int> weights, int t) {
+  CC_REQUIRE(!inputs.empty(), "gate needs at least one input");
+  CC_REQUIRE(inputs.size() == weights.size(), "one weight per input");
+  CC_REQUIRE(t >= 0, "threshold must be non-negative");
+  for (int w : weights) CC_REQUIRE(w >= 1, "weights must be positive");
+  Gate g;
+  g.kind = GateKind::kWeightedThreshold;
+  g.inputs = std::move(inputs);
+  g.weights = std::move(weights);
+  g.threshold = t;
+  return add(std::move(g));
+}
+
+int Circuit::add_lut(std::vector<int> inputs, std::vector<bool> lut) {
+  CC_REQUIRE(inputs.size() <= 20, "LUT fan-in too large");
+  CC_REQUIRE(lut.size() == (static_cast<std::size_t>(1) << inputs.size()),
+             "LUT size must be 2^fan-in");
+  Gate g;
+  g.kind = GateKind::kLut;
+  g.inputs = std::move(inputs);
+  g.lut = std::move(lut);
+  return add(std::move(g));
+}
+
+void Circuit::mark_output(int gate) {
+  CC_REQUIRE(gate >= 0 && gate < num_gates(), "output gate id out of range");
+  output_ids_.push_back(gate);
+}
+
+std::size_t Circuit::num_wires() const {
+  std::size_t w = 0;
+  for (const Gate& g : gates_) w += g.inputs.size();
+  return w;
+}
+
+std::vector<int> Circuit::fan_outs() const {
+  std::vector<int> out(gates_.size(), 0);
+  for (const Gate& g : gates_) {
+    for (int in : g.inputs) ++out[static_cast<std::size_t>(in)];
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> Circuit::layers() const {
+  std::vector<int> layer_of(gates_.size(), 0);
+  int max_layer = 0;
+  for (std::size_t id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    int l = 0;
+    for (int in : g.inputs) {
+      l = std::max(l, layer_of[static_cast<std::size_t>(in)] + 1);
+    }
+    layer_of[id] = l;
+    max_layer = std::max(max_layer, l);
+  }
+  std::vector<std::vector<int>> out(static_cast<std::size_t>(max_layer) + 1);
+  for (std::size_t id = 0; id < gates_.size(); ++id) {
+    out[static_cast<std::size_t>(layer_of[id])].push_back(static_cast<int>(id));
+  }
+  return out;
+}
+
+int Circuit::depth() const {
+  return static_cast<int>(layers().size()) - 1;
+}
+
+std::vector<bool> Circuit::evaluate_all(const std::vector<bool>& inputs) const {
+  CC_REQUIRE(inputs.size() == input_ids_.size(),
+             "evaluate: input count mismatch");
+  std::vector<bool> value(gates_.size(), false);
+  std::size_t next_input = 0;
+  std::vector<bool> in_values;
+  for (std::size_t id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    if (g.kind == GateKind::kInput) {
+      value[id] = inputs[next_input++];
+      continue;
+    }
+    in_values.clear();
+    in_values.reserve(g.inputs.size());
+    for (int in : g.inputs) in_values.push_back(value[static_cast<std::size_t>(in)]);
+    value[id] = eval_gate(static_cast<int>(id), in_values);
+  }
+  return value;
+}
+
+std::vector<bool> Circuit::evaluate(const std::vector<bool>& inputs) const {
+  const std::vector<bool> all = evaluate_all(inputs);
+  std::vector<bool> out;
+  out.reserve(output_ids_.size());
+  for (int id : output_ids_) out.push_back(all[static_cast<std::size_t>(id)]);
+  return out;
+}
+
+int Circuit::separability_bits(int gate_id) const {
+  const Gate& g = gate(gate_id);
+  switch (g.kind) {
+    case GateKind::kInput:
+    case GateKind::kConst:
+      return 0;
+    case GateKind::kNot:
+    case GateKind::kAnd:
+    case GateKind::kOr:
+    case GateKind::kXor:
+      return 1;
+    case GateKind::kMod:
+      return bits_for(static_cast<std::uint64_t>(g.modulus));
+    case GateKind::kThreshold:
+      return bits_for(static_cast<std::uint64_t>(g.inputs.size()) + 1);
+    case GateKind::kWeightedThreshold: {
+      std::uint64_t total = 0;
+      for (int w : g.weights) total += static_cast<std::uint64_t>(w);
+      return bits_for(total + 1);
+    }
+    case GateKind::kLut:
+      return static_cast<int>(g.inputs.size());
+  }
+  return 0;
+}
+
+PartAggregate Circuit::partial_aggregate(int gate_id,
+                                         const std::vector<int>& wire_positions,
+                                         const std::vector<bool>& values) const {
+  const Gate& g = gate(gate_id);
+  CC_REQUIRE(wire_positions.size() == values.size(),
+             "positions/values size mismatch");
+  PartAggregate agg;
+  agg.bits = separability_bits(gate_id);
+  switch (g.kind) {
+    case GateKind::kInput:
+    case GateKind::kConst:
+      CC_REQUIRE(false, "inputs/constants have no in-wires to aggregate");
+      break;
+    case GateKind::kNot:
+    case GateKind::kAnd: {
+      // AND: part value = conjunction of the part (NOT handled in combine).
+      bool all = true;
+      for (bool v : values) all = all && v;
+      agg.value = all ? 1 : 0;
+      break;
+    }
+    case GateKind::kOr: {
+      bool any = false;
+      for (bool v : values) any = any || v;
+      agg.value = any ? 1 : 0;
+      break;
+    }
+    case GateKind::kXor: {
+      bool parity = false;
+      for (bool v : values) parity = parity != v;
+      agg.value = parity ? 1 : 0;
+      break;
+    }
+    case GateKind::kMod: {
+      std::uint64_t sum = 0;
+      for (bool v : values) sum += v ? 1 : 0;
+      agg.value = sum % static_cast<std::uint64_t>(g.modulus);
+      break;
+    }
+    case GateKind::kThreshold: {
+      std::uint64_t count = 0;
+      for (bool v : values) count += v ? 1 : 0;
+      agg.value = count;
+      break;
+    }
+    case GateKind::kWeightedThreshold: {
+      std::uint64_t sum = 0;
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        if (values[i]) {
+          sum += static_cast<std::uint64_t>(
+              g.weights[static_cast<std::size_t>(wire_positions[i])]);
+        }
+      }
+      agg.value = sum;
+      break;
+    }
+    case GateKind::kLut: {
+      // LUT parts are just the raw bits re-packed at their positions.
+      std::uint64_t packed = 0;
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        if (values[i]) packed |= 1ULL << wire_positions[i];
+      }
+      agg.value = packed;
+      break;
+    }
+  }
+  return agg;
+}
+
+bool Circuit::combine(int gate_id, const std::vector<PartAggregate>& parts) const {
+  const Gate& g = gate(gate_id);
+  switch (g.kind) {
+    case GateKind::kInput:
+    case GateKind::kConst:
+      CC_REQUIRE(false, "inputs/constants are not combined");
+      return false;
+    case GateKind::kNot: {
+      CC_REQUIRE(parts.size() == 1, "NOT expects a single part");
+      return parts[0].value == 0;
+    }
+    case GateKind::kAnd: {
+      for (const auto& p : parts) {
+        if (p.value == 0) return false;
+      }
+      return true;
+    }
+    case GateKind::kOr: {
+      for (const auto& p : parts) {
+        if (p.value != 0) return true;
+      }
+      return false;
+    }
+    case GateKind::kXor: {
+      bool parity = false;
+      for (const auto& p : parts) parity = parity != (p.value != 0);
+      return parity;
+    }
+    case GateKind::kMod: {
+      std::uint64_t sum = 0;
+      for (const auto& p : parts) sum += p.value;
+      return sum % static_cast<std::uint64_t>(g.modulus) == 0;
+    }
+    case GateKind::kThreshold:
+    case GateKind::kWeightedThreshold: {
+      std::uint64_t count = 0;
+      for (const auto& p : parts) count += p.value;
+      return count >= static_cast<std::uint64_t>(g.threshold);
+    }
+    case GateKind::kLut: {
+      std::uint64_t packed = 0;
+      for (const auto& p : parts) packed |= p.value;
+      return g.lut[static_cast<std::size_t>(packed)];
+    }
+  }
+  return false;
+}
+
+bool Circuit::eval_gate(int gate_id, const std::vector<bool>& in_values) const {
+  const Gate& g = gate(gate_id);
+  CC_REQUIRE(in_values.size() == g.inputs.size(),
+             "eval_gate: value count mismatch");
+  if (g.kind == GateKind::kConst) return g.const_value;
+  CC_REQUIRE(g.kind != GateKind::kInput, "inputs are not evaluated");
+  // Single full part: combine(partial(everything)).
+  std::vector<int> positions(g.inputs.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) positions[i] = static_cast<int>(i);
+  return combine(gate_id, {partial_aggregate(gate_id, positions, in_values)});
+}
+
+}  // namespace cclique

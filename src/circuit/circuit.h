@@ -1,0 +1,156 @@
+// Boolean circuits with unbounded fan-in, b-separable gates (Definition 1).
+//
+// A circuit here is a DAG of gates; inputs are gates with no inputs and
+// outputs are marked gates. The complexity measures the paper cares about
+// are depth (number of evaluation layers) and the number of wires (edges);
+// Theorem 2 turns a depth-D circuit with n^2 * s wires of b-separable gates
+// into an O(D)-round CLIQUE-UCAST protocol with bandwidth O(b + s).
+//
+// Definition 1 (b-separability) is realized operationally: every gate kind
+// implements
+//   partial_aggregate : the g_j of Definition 1 — collapse any subset of a
+//                       gate's input wires into at most separability_bits()
+//                       bits, and
+//   combine           : the h — fold the per-part aggregates into the gate
+//                       value.
+// The simulation protocol evaluates heavy gates exactly this way, so the
+// separability bound *is* the bandwidth the protocol uses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cclique {
+
+/// Gate repertoire. All gates have unbounded fan-in unless noted.
+enum class GateKind {
+  kInput,      ///< circuit input (no in-wires)
+  kConst,      ///< constant 0/1
+  kNot,        ///< fan-in 1
+  kAnd,        ///< conjunction
+  kOr,         ///< disjunction
+  kXor,        ///< parity (= MOD2 complement convention: value is the parity)
+  kMod,        ///< MODm gate: 1 iff (sum of inputs) % m == 0  (paper's MODm)
+  kThreshold,  ///< unweighted threshold: 1 iff (#ones) >= t
+  kWeightedThreshold,  ///< 1 iff Σ w_i x_i >= t (w_i in Z+); the paper's
+                       ///< TC discussion: separable with ceil(log2(Σw+1))
+                       ///< bits instead of ceil(log2(fan-in+1))
+  kLut,        ///< arbitrary truth table, small fan-in only
+};
+
+/// One gate of a circuit.
+struct Gate {
+  GateKind kind = GateKind::kInput;
+  std::vector<int> inputs;      ///< ids of gates feeding this one
+  int modulus = 0;              ///< kMod parameter m >= 2
+  int threshold = 0;            ///< k(Weighted)Threshold parameter t >= 0
+  std::vector<int> weights;     ///< kWeightedThreshold: positive weights
+  std::vector<bool> lut;        ///< kLut table, size 2^fan-in
+  bool const_value = false;     ///< kConst value
+};
+
+/// A partial aggregate (the value of one g_j of Definition 1).
+struct PartAggregate {
+  std::uint64_t value = 0;  ///< at most `bits` wide
+  int bits = 0;
+};
+
+class Circuit {
+ public:
+  /// Adds an input gate; returns its id. Inputs are indexed in creation
+  /// order for evaluate().
+  int add_input();
+
+  /// Adds a constant gate.
+  int add_const(bool value);
+
+  /// Adds a NOT gate over `input`.
+  int add_not(int input);
+
+  /// Adds an unbounded fan-in gate of the given kind over `inputs`
+  /// (kAnd / kOr / kXor).
+  int add_gate(GateKind kind, std::vector<int> inputs);
+
+  /// Adds a MODm gate: outputs 1 iff sum(inputs) % m == 0.
+  int add_mod(std::vector<int> inputs, int m);
+
+  /// Adds an unweighted threshold gate: outputs 1 iff #ones >= t.
+  int add_threshold(std::vector<int> inputs, int t);
+
+  /// Adds a weighted threshold gate: outputs 1 iff Σ w_i x_i >= t
+  /// (weights positive; the weight magnitude, not the fan-in, drives
+  /// separability — see the paper's TC lower-bound discussion).
+  int add_weighted_threshold(std::vector<int> inputs, std::vector<int> weights,
+                             int t);
+
+  /// Adds a LUT gate (fan-in <= 20); lut has 2^fan-in entries indexed by the
+  /// input bits with input 0 as the least significant bit.
+  int add_lut(std::vector<int> inputs, std::vector<bool> lut);
+
+  /// Marks a gate as a circuit output (in order).
+  void mark_output(int gate);
+
+  int num_gates() const { return static_cast<int>(gates_.size()); }
+  int num_inputs() const { return static_cast<int>(input_ids_.size()); }
+  int num_outputs() const { return static_cast<int>(output_ids_.size()); }
+  const std::vector<int>& input_ids() const { return input_ids_; }
+  const std::vector<int>& output_ids() const { return output_ids_; }
+  const Gate& gate(int id) const {
+    CC_REQUIRE(id >= 0 && id < num_gates(), "gate id out of range");
+    return gates_[static_cast<std::size_t>(id)];
+  }
+
+  /// Total number of wires (sum of fan-ins).
+  std::size_t num_wires() const;
+
+  /// Fan-out (number of out-wires) per gate.
+  std::vector<int> fan_outs() const;
+
+  /// The layer partition L_0, ..., L_D of the paper: L_0 = inputs/consts,
+  /// L_r = gates whose inputs all lie in layers < r. Depth D = #layers - 1.
+  std::vector<std::vector<int>> layers() const;
+
+  /// Depth = index of the last layer (0 for an input-only circuit).
+  int depth() const;
+
+  /// Evaluates the circuit; `inputs` are in input-creation order. Returns
+  /// the value of every gate (indexable by gate id).
+  std::vector<bool> evaluate_all(const std::vector<bool>& inputs) const;
+
+  /// Evaluates and returns only the marked outputs.
+  std::vector<bool> evaluate(const std::vector<bool>& inputs) const;
+
+  /// Definition 1 machinery: the number of bits any part aggregate of this
+  /// gate needs (the "b" for which the gate is b-separable):
+  ///   AND/OR/XOR/NOT: 1;  MODm: ceil(log2 m);
+  ///   threshold(t, fan-in k): ceil(log2(k+1));  LUT: fan-in.
+  int separability_bits(int gate_id) const;
+
+  /// g_j of Definition 1: aggregate the sub-vector of this gate's inputs
+  /// given by `wire_positions` (indices into gate.inputs) with the
+  /// corresponding `values`.
+  PartAggregate partial_aggregate(int gate_id,
+                                  const std::vector<int>& wire_positions,
+                                  const std::vector<bool>& values) const;
+
+  /// h of Definition 1: folds part aggregates (covering all input wires,
+  /// each exactly once) into the gate's output value.
+  bool combine(int gate_id, const std::vector<PartAggregate>& parts) const;
+
+  /// Convenience: directly evaluates a gate from its full ordered input
+  /// values (used by the reference evaluator and in tests against
+  /// partial_aggregate/combine).
+  bool eval_gate(int gate_id, const std::vector<bool>& in_values) const;
+
+ private:
+  int add(Gate g);
+
+  std::vector<Gate> gates_;
+  std::vector<int> input_ids_;
+  std::vector<int> output_ids_;
+};
+
+}  // namespace cclique

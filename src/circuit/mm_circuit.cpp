@@ -1,0 +1,179 @@
+#include "circuit/mm_circuit.h"
+
+#include <algorithm>
+
+namespace cclique {
+
+namespace {
+
+// XOR of two wires (fan-in-2 gate).
+int xor2(Circuit& c, int a, int b) { return c.add_gate(GateKind::kXor, {a, b}); }
+
+// Element-wise XOR of two equal-size blocks.
+MatrixWires block_add(Circuit& c, const MatrixWires& a, const MatrixWires& b) {
+  CC_REQUIRE(a.n == b.n, "block size mismatch");
+  MatrixWires out;
+  out.n = a.n;
+  out.w.reserve(a.w.size());
+  for (std::size_t i = 0; i < a.w.size(); ++i) out.w.push_back(xor2(c, a.w[i], b.w[i]));
+  return out;
+}
+
+MatrixWires sub_block(const MatrixWires& m, int r0, int c0, int size) {
+  MatrixWires out;
+  out.n = size;
+  out.w.reserve(static_cast<std::size_t>(size) * static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    for (int j = 0; j < size; ++j) out.w.push_back(m.at(r0 + i, c0 + j));
+  }
+  return out;
+}
+
+// Pads m to size `target` with a shared zero wire.
+MatrixWires pad_to(Circuit& c, const MatrixWires& m, int target, int zero_wire) {
+  if (m.n == target) return m;
+  MatrixWires out;
+  out.n = target;
+  out.w.assign(static_cast<std::size_t>(target) * static_cast<std::size_t>(target), zero_wire);
+  for (int i = 0; i < m.n; ++i) {
+    for (int j = 0; j < m.n; ++j) {
+      out.w[static_cast<std::size_t>(i) * static_cast<std::size_t>(target) + static_cast<std::size_t>(j)] = m.at(i, j);
+    }
+  }
+  (void)c;
+  return out;
+}
+
+MatrixWires strassen_rec(Circuit& c, const MatrixWires& a, const MatrixWires& b,
+                         int cutoff) {
+  const int n = a.n;
+  if (n <= cutoff || n % 2 != 0) {
+    return add_f2_matmul_naive(c, a, b);
+  }
+  const int h = n / 2;
+  const MatrixWires a11 = sub_block(a, 0, 0, h), a12 = sub_block(a, 0, h, h);
+  const MatrixWires a21 = sub_block(a, h, 0, h), a22 = sub_block(a, h, h, h);
+  const MatrixWires b11 = sub_block(b, 0, 0, h), b12 = sub_block(b, 0, h, h);
+  const MatrixWires b21 = sub_block(b, h, 0, h), b22 = sub_block(b, h, h, h);
+
+  // Over F2 addition and subtraction coincide, so Strassen's seven products
+  // lose all their signs.
+  const MatrixWires m1 = strassen_rec(c, block_add(c, a11, a22), block_add(c, b11, b22), cutoff);
+  const MatrixWires m2 = strassen_rec(c, block_add(c, a21, a22), b11, cutoff);
+  const MatrixWires m3 = strassen_rec(c, a11, block_add(c, b12, b22), cutoff);
+  const MatrixWires m4 = strassen_rec(c, a22, block_add(c, b21, b11), cutoff);
+  const MatrixWires m5 = strassen_rec(c, block_add(c, a11, a12), b22, cutoff);
+  const MatrixWires m6 = strassen_rec(c, block_add(c, a21, a11), block_add(c, b11, b12), cutoff);
+  const MatrixWires m7 = strassen_rec(c, block_add(c, a12, a22), block_add(c, b21, b22), cutoff);
+
+  const MatrixWires c11 = block_add(c, block_add(c, m1, m4), block_add(c, m5, m7));
+  const MatrixWires c12 = block_add(c, m3, m5);
+  const MatrixWires c21 = block_add(c, m2, m4);
+  const MatrixWires c22 = block_add(c, block_add(c, m1, m2), block_add(c, m3, m6));
+
+  MatrixWires out;
+  out.n = n;
+  out.w.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < h; ++i) {
+    for (int j = 0; j < h; ++j) {
+      out.w[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) + static_cast<std::size_t>(j)] = c11.at(i, j);
+      out.w[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) + static_cast<std::size_t>(j + h)] = c12.at(i, j);
+      out.w[static_cast<std::size_t>(i + h) * static_cast<std::size_t>(n) + static_cast<std::size_t>(j)] = c21.at(i, j);
+      out.w[static_cast<std::size_t>(i + h) * static_cast<std::size_t>(n) + static_cast<std::size_t>(j + h)] = c22.at(i, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MatrixWires add_f2_matmul_naive(Circuit& c, const MatrixWires& a, const MatrixWires& b) {
+  CC_REQUIRE(a.n == b.n, "matrix size mismatch");
+  const int n = a.n;
+  MatrixWires out;
+  out.n = n;
+  out.w.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      std::vector<int> terms;
+      terms.reserve(static_cast<std::size_t>(n));
+      for (int k = 0; k < n; ++k) {
+        terms.push_back(c.add_gate(GateKind::kAnd, {a.at(i, k), b.at(k, j)}));
+      }
+      out.w.push_back(terms.size() == 1 ? terms[0]
+                                        : c.add_gate(GateKind::kXor, std::move(terms)));
+    }
+  }
+  return out;
+}
+
+MatrixWires add_f2_matmul_strassen(Circuit& c, const MatrixWires& a,
+                                   const MatrixWires& b, int cutoff) {
+  CC_REQUIRE(a.n == b.n, "matrix size mismatch");
+  CC_REQUIRE(cutoff >= 1, "cutoff must be >= 1");
+  // Pad to the next power of two so halving is always possible.
+  int target = 1;
+  while (target < a.n) target *= 2;
+  if (target == a.n) return strassen_rec(c, a, b, cutoff);
+  const int zero = c.add_const(false);
+  MatrixWires pa = pad_to(c, a, target, zero);
+  MatrixWires pb = pad_to(c, b, target, zero);
+  MatrixWires full = strassen_rec(c, pa, pb, cutoff);
+  MatrixWires out;
+  out.n = a.n;
+  out.w.reserve(static_cast<std::size_t>(a.n) * static_cast<std::size_t>(a.n));
+  for (int i = 0; i < a.n; ++i) {
+    for (int j = 0; j < a.n; ++j) out.w.push_back(full.at(i, j));
+  }
+  return out;
+}
+
+Circuit f2_matmul_circuit(int n, bool use_strassen, int cutoff) {
+  Circuit c;
+  MatrixWires a, b;
+  a.n = b.n = n;
+  for (int i = 0; i < n * n; ++i) a.w.push_back(c.add_input());
+  for (int i = 0; i < n * n; ++i) b.w.push_back(c.add_input());
+  const MatrixWires prod = use_strassen ? add_f2_matmul_strassen(c, a, b, cutoff)
+                                        : add_f2_matmul_naive(c, a, b);
+  for (int wire : prod.w) c.mark_output(wire);
+  return c;
+}
+
+Circuit triangle_witness_circuit(int n, int reps, Rng& rng, int cutoff) {
+  CC_REQUIRE(n >= 3, "triangle detection needs n >= 3");
+  CC_REQUIRE(reps >= 1, "need at least one repetition");
+  Circuit c;
+  MatrixWires a;
+  a.n = n;
+  for (int i = 0; i < n * n; ++i) a.w.push_back(c.add_input());
+  const int zero = c.add_const(false);
+
+  std::vector<int> rep_bits;
+  rep_bits.reserve(static_cast<std::size_t>(reps));
+  for (int rep = 0; rep < reps; ++rep) {
+    // Column masks baked in as wiring: masked column j is either A's column
+    // (mask bit 1) or the shared zero wire (mask bit 0).
+    MatrixWires ar = a, arp = a;
+    for (int j = 0; j < n; ++j) {
+      const bool rj = rng.coin();
+      const bool rpj = rng.coin();
+      for (int i = 0; i < n; ++i) {
+        if (!rj) ar.w[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) + static_cast<std::size_t>(j)] = zero;
+        if (!rpj) arp.w[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) + static_cast<std::size_t>(j)] = zero;
+      }
+    }
+    const MatrixWires p = add_f2_matmul_strassen(c, ar, arp, cutoff);
+    const MatrixWires q = add_f2_matmul_strassen(c, p, a, cutoff);
+    std::vector<int> diag;
+    diag.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) diag.push_back(q.at(i, i));
+    rep_bits.push_back(c.add_gate(GateKind::kOr, std::move(diag)));
+  }
+  const int out = rep_bits.size() == 1 ? rep_bits[0]
+                                       : c.add_gate(GateKind::kOr, std::move(rep_bits));
+  c.mark_output(out);
+  return c;
+}
+
+}  // namespace cclique

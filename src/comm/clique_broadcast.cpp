@@ -1,0 +1,65 @@
+#include "comm/clique_broadcast.h"
+
+#include <algorithm>
+
+namespace cclique {
+
+CliqueBroadcast::CliqueBroadcast(int n, int bandwidth)
+    : n_(n), bandwidth_(bandwidth) {
+  CC_REQUIRE(n >= 1, "need at least one player");
+  CC_REQUIRE(bandwidth >= 1, "bandwidth must be at least 1 bit");
+}
+
+void CliqueBroadcast::set_cut(std::vector<int> side) {
+  CC_REQUIRE(static_cast<int>(side.size()) == n_, "cut assignment size mismatch");
+  for (int s : side) CC_REQUIRE(s == 0 || s == 1, "cut side must be 0 or 1");
+  cut_side_ = std::move(side);
+}
+
+const std::vector<Message>& CliqueBroadcast::round(const BcastFn& bcast) {
+  board_.assign(static_cast<std::size_t>(n_), Message{});
+  for (int i = 0; i < n_; ++i) {
+    Message msg = bcast(i);
+    CC_MODEL(msg.size_bits() <= static_cast<std::size_t>(bandwidth_),
+             "per-player bandwidth exceeded in CLIQUE-BCAST");
+    stats_.total_bits += msg.size_bits();
+    if (!msg.empty()) ++stats_.total_messages;
+    stats_.max_edge_bits_in_round =
+        std::max<std::uint64_t>(stats_.max_edge_bits_in_round, msg.size_bits());
+    if (!cut_side_.empty()) stats_.cut_bits += msg.size_bits();
+    board_[static_cast<std::size_t>(i)] = std::move(msg);
+  }
+  ++stats_.rounds;
+  return board_;
+}
+
+std::vector<Message> broadcast_payloads(CliqueBroadcast& net,
+                                        const std::vector<Message>& payloads,
+                                        int* rounds_used) {
+  const int n = net.n();
+  const std::size_t b = static_cast<std::size_t>(net.bandwidth());
+  CC_REQUIRE(static_cast<int>(payloads.size()) == n, "one payload per player");
+  std::size_t max_len = 0;
+  for (const auto& p : payloads) max_len = std::max(max_len, p.size_bits());
+  const int rounds = static_cast<int>((max_len + b - 1) / b);
+  std::vector<Message> assembled(static_cast<std::size_t>(n));
+  for (int r = 0; r < rounds; ++r) {
+    const std::size_t offset = static_cast<std::size_t>(r) * b;
+    const auto& board = net.round([&](int i) {
+      const Message& full = payloads[static_cast<std::size_t>(i)];
+      Message chunk;
+      if (offset < full.size_bits()) {
+        const std::size_t take = std::min(b, full.size_bits() - offset);
+        for (std::size_t t = 0; t < take; ++t) chunk.push_bit(full.get(offset + t));
+      }
+      return chunk;
+    });
+    for (int i = 0; i < n; ++i) {
+      assembled[static_cast<std::size_t>(i)].append(board[static_cast<std::size_t>(i)]);
+    }
+  }
+  if (rounds_used != nullptr) *rounds_used = rounds;
+  return assembled;
+}
+
+}  // namespace cclique

@@ -1,0 +1,59 @@
+// CLIQUE-BCAST(n, b): the broadcast congested clique / shared blackboard.
+//
+// In each round every player writes a single message of at most b bits that
+// all other players can read — the classical multiparty number-in-hand
+// shared-blackboard model (Section 3 of the paper). Only Θ(nb) unique bits
+// cross any cut per round, which is what re-enables the bottleneck lower
+// bounds of Section 3.2.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "comm/model.h"
+#include "util/check.h"
+
+namespace cclique {
+
+/// Round-synchronous engine for the broadcast congested clique.
+class CliqueBroadcast {
+ public:
+  CliqueBroadcast(int n, int bandwidth);
+
+  int n() const { return n_; }
+  int bandwidth() const { return bandwidth_; }
+
+  /// Broadcast callback: player i returns its <= b-bit broadcast.
+  using BcastFn = std::function<Message(int player)>;
+
+  /// Executes one round; returns the blackboard row (message of player i at
+  /// index i). All players may read the returned row — that is the model.
+  const std::vector<Message>& round(const BcastFn& bcast);
+
+  /// The blackboard row of the most recent round.
+  const std::vector<Message>& last_round() const { return board_; }
+
+  /// Registers a 2-party partition for cut accounting: a broadcast bit by a
+  /// side-0 player costs one bit toward side 1 (and vice versa), because in
+  /// a 2-party simulation each written bit must be shipped across once.
+  void set_cut(std::vector<int> side);
+
+  const CommStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CommStats{}; }
+
+ private:
+  int n_;
+  int bandwidth_;
+  std::vector<int> cut_side_;
+  std::vector<Message> board_;
+  CommStats stats_;
+};
+
+/// Broadcasts arbitrarily long per-player payloads by chunking into
+/// ceil(max_len / b) rounds; returns the full payload row (payloads[i] as
+/// every player now knows it) and sets *rounds_used.
+std::vector<Message> broadcast_payloads(CliqueBroadcast& net,
+                                        const std::vector<Message>& payloads,
+                                        int* rounds_used);
+
+}  // namespace cclique

@@ -1,0 +1,96 @@
+#include "comm/clique_unicast.h"
+
+#include <algorithm>
+
+namespace cclique {
+
+CliqueUnicast::CliqueUnicast(int n, int bandwidth) : n_(n), bandwidth_(bandwidth) {
+  CC_REQUIRE(n >= 1, "need at least one player");
+  CC_REQUIRE(bandwidth >= 1, "bandwidth must be at least 1 bit");
+}
+
+void CliqueUnicast::set_cut(std::vector<int> side) {
+  CC_REQUIRE(static_cast<int>(side.size()) == n_, "cut assignment size mismatch");
+  for (int s : side) CC_REQUIRE(s == 0 || s == 1, "cut side must be 0 or 1");
+  cut_side_ = std::move(side);
+}
+
+void CliqueUnicast::round(const SendFn& send, const RecvFn& recv) {
+  // Collect and validate all outboxes before any delivery: a synchronous
+  // round means sends are based on pre-round state only.
+  std::vector<std::vector<Message>> out;
+  out.reserve(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    std::vector<Message> box = send(i);
+    CC_MODEL(static_cast<int>(box.size()) == n_,
+             "outbox must have one slot per player");
+    for (int j = 0; j < n_; ++j) {
+      const Message& msg = box[static_cast<std::size_t>(j)];
+      if (j == i) {
+        CC_MODEL(msg.empty(), "players cannot message themselves");
+        continue;
+      }
+      CC_MODEL(msg.size_bits() <= static_cast<std::size_t>(bandwidth_),
+               "per-edge bandwidth exceeded in CLIQUE-UCAST");
+      stats_.total_bits += msg.size_bits();
+      if (!msg.empty()) ++stats_.total_messages;
+      stats_.max_edge_bits_in_round =
+          std::max<std::uint64_t>(stats_.max_edge_bits_in_round, msg.size_bits());
+      if (!cut_side_.empty() &&
+          cut_side_[static_cast<std::size_t>(i)] != cut_side_[static_cast<std::size_t>(j)]) {
+        stats_.cut_bits += msg.size_bits();
+      }
+    }
+    out.push_back(std::move(box));
+  }
+  ++stats_.rounds;
+  // Deliver: inbox[j] for receiver r is out[j][r].
+  std::vector<Message> inbox(static_cast<std::size_t>(n_));
+  for (int r = 0; r < n_; ++r) {
+    for (int j = 0; j < n_; ++j) {
+      inbox[static_cast<std::size_t>(j)] = out[static_cast<std::size_t>(j)][static_cast<std::size_t>(r)];
+    }
+    recv(r, inbox);
+  }
+}
+
+int unicast_payloads(CliqueUnicast& net,
+                     const std::vector<std::vector<Message>>& payload,
+                     std::vector<std::vector<Message>>* received) {
+  const int n = net.n();
+  const std::size_t b = static_cast<std::size_t>(net.bandwidth());
+  CC_REQUIRE(static_cast<int>(payload.size()) == n, "payload matrix must be n x n");
+  std::size_t max_len = 0;
+  for (const auto& row : payload) {
+    CC_REQUIRE(static_cast<int>(row.size()) == n, "payload matrix must be n x n");
+    for (const auto& msg : row) max_len = std::max(max_len, msg.size_bits());
+  }
+  received->assign(static_cast<std::size_t>(n), std::vector<Message>(static_cast<std::size_t>(n)));
+  const int rounds = static_cast<int>((max_len + b - 1) / b);
+  for (int r = 0; r < rounds; ++r) {
+    const std::size_t offset = static_cast<std::size_t>(r) * b;
+    net.round(
+        [&](int i) {
+          std::vector<Message> box(static_cast<std::size_t>(n));
+          for (int j = 0; j < n; ++j) {
+            if (j == i) continue;
+            const Message& full = payload[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+            if (offset >= full.size_bits()) continue;
+            const std::size_t take = std::min(b, full.size_bits() - offset);
+            Message chunk;
+            for (std::size_t t = 0; t < take; ++t) chunk.push_bit(full.get(offset + t));
+            box[static_cast<std::size_t>(j)] = std::move(chunk);
+          }
+          return box;
+        },
+        [&](int receiver, const std::vector<Message>& inbox) {
+          for (int j = 0; j < n; ++j) {
+            (*received)[static_cast<std::size_t>(receiver)][static_cast<std::size_t>(j)]
+                .append(inbox[static_cast<std::size_t>(j)]);
+          }
+        });
+  }
+  return rounds;
+}
+
+}  // namespace cclique

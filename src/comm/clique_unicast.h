@@ -1,0 +1,62 @@
+// CLIQUE-UCAST(n, b): the unicast congested clique.
+//
+// n players over a complete network; in each round every ordered pair (i, j)
+// may carry a message of at most b bits from i to j — players may send
+// *different* messages on different links (Θ(n^2 b) bits/round total
+// capacity). This is the model of Sections 1–2 of the paper.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "comm/model.h"
+#include "util/check.h"
+
+namespace cclique {
+
+/// Round-synchronous engine for the unicast congested clique.
+class CliqueUnicast {
+ public:
+  /// n >= 1 players, per-edge per-round bandwidth `bandwidth` >= 1 bits.
+  CliqueUnicast(int n, int bandwidth);
+
+  int n() const { return n_; }
+  int bandwidth() const { return bandwidth_; }
+
+  /// Sender callback: given a player id, return its outbox — a vector of n
+  /// messages where slot j is the message for player j (empty = nothing).
+  /// Slot `player` (self) must be empty. Each message must fit in
+  /// bandwidth() bits or the engine throws ModelViolation.
+  using SendFn = std::function<std::vector<Message>(int player)>;
+
+  /// Receiver callback: inbox[j] is the message player j sent this round.
+  using RecvFn = std::function<void(int player, const std::vector<Message>& inbox)>;
+
+  /// Executes one synchronous round.
+  void round(const SendFn& send, const RecvFn& recv);
+
+  /// Registers a 2-party partition (side[i] in {0,1}) so stats().cut_bits
+  /// accumulates the bits crossing it — the quantity 2-party reductions pay.
+  void set_cut(std::vector<int> side);
+
+  const CommStats& stats() const { return stats_; }
+
+  /// Resets accounting (not the cut registration).
+  void reset_stats() { stats_ = CommStats{}; }
+
+ private:
+  int n_;
+  int bandwidth_;
+  std::vector<int> cut_side_;
+  CommStats stats_;
+};
+
+/// Delivers arbitrarily long per-edge payloads by chunking them into
+/// ceil(L/b)-round streams (all edges progress in parallel). payload[i][j]
+/// is what player i wants player j to end up holding; on return,
+/// received[j][i] holds it. Returns the number of rounds used.
+int unicast_payloads(CliqueUnicast& net,
+                     const std::vector<std::vector<Message>>& payload,
+                     std::vector<std::vector<Message>>* received);
+
+}  // namespace cclique

@@ -1,0 +1,49 @@
+// CONGEST-UCAST(n, b): unicast over the *input graph's* edges.
+//
+// The classical CONGEST model [33]: the communication topology equals the
+// input graph G, so a round carries at most b bits per direction on each
+// graph edge. Used by the δ-sparse lower bounds of Definition 12 /
+// Lemma 13 and by the in-network 4-cycle detection upper bound.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "comm/model.h"
+#include "graph/graph.h"
+#include "util/check.h"
+
+namespace cclique {
+
+/// Round-synchronous engine for CONGEST over a fixed topology.
+class CongestUnicast {
+ public:
+  CongestUnicast(const Graph& topology, int bandwidth);
+
+  int n() const { return topology_.num_vertices(); }
+  int bandwidth() const { return bandwidth_; }
+  const Graph& topology() const { return topology_; }
+
+  /// Outbox layout: one slot per *neighbor index* in
+  /// topology().neighbors(player) order; each message <= b bits.
+  using SendFn = std::function<std::vector<Message>(int player)>;
+
+  /// inbox is aligned with topology().neighbors(player) as well.
+  using RecvFn = std::function<void(int player, const std::vector<Message>& inbox)>;
+
+  void round(const SendFn& send, const RecvFn& recv);
+
+  /// Registers a vertex bipartition; cut_bits accumulates bits on cut edges.
+  void set_cut(std::vector<int> side);
+
+  const CommStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CommStats{}; }
+
+ private:
+  Graph topology_;
+  int bandwidth_;
+  std::vector<int> cut_side_;
+  CommStats stats_;
+};
+
+}  // namespace cclique

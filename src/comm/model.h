@@ -1,0 +1,39 @@
+// Shared vocabulary for the communication engines.
+//
+// A protocol in this library is ordinary C++ driving an engine round by
+// round: in each round the engine pulls outgoing messages from per-player
+// callbacks, *validates them against the model's bandwidth rules*, accounts
+// for every bit, and delivers. The engine is the arbiter of what a round
+// and a bit mean, so measured round counts in benches are trustworthy.
+//
+// Locality discipline: a player's send callback must compute only from that
+// player's local state and previously delivered messages. C++ cannot enforce
+// this in-process; the protocol implementations in src/core and
+// src/lowerbound follow it by construction (per-player state structs), and
+// the tests include adversarial checks on the engine's accounting itself.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bitvec.h"
+
+namespace cclique {
+
+/// Message payload; its exact bit length is what gets charged.
+using Message = BitVec;
+
+/// Cumulative communication accounting for one protocol execution.
+struct CommStats {
+  /// Synchronous rounds elapsed.
+  int rounds = 0;
+  /// Total bits carried by all messages (across all edges and rounds).
+  std::uint64_t total_bits = 0;
+  /// Total message count (nonempty messages).
+  std::uint64_t total_messages = 0;
+  /// Bits crossing the registered 2-party cut (see set_cut on the engines).
+  std::uint64_t cut_bits = 0;
+  /// Maximum bits observed on any single directed edge in a single round.
+  std::uint64_t max_edge_bits_in_round = 0;
+};
+
+}  // namespace cclique

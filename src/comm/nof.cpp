@@ -1,0 +1,42 @@
+#include "comm/nof.h"
+
+namespace cclique {
+
+NofDisjointnessInstance random_nof_instance(std::size_t m, double density, Rng& rng) {
+  NofDisjointnessInstance inst;
+  inst.xa.resize(m);
+  inst.xb.resize(m);
+  inst.xc.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    inst.xa[i] = rng.bernoulli(density);
+    inst.xb[i] = rng.bernoulli(density);
+    inst.xc[i] = rng.bernoulli(density);
+  }
+  return inst;
+}
+
+NofDisjointnessInstance random_nof_disjoint(std::size_t m, double density, Rng& rng) {
+  NofDisjointnessInstance inst = random_nof_instance(m, density, rng);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (inst.xa[i] && inst.xb[i] && inst.xc[i]) {
+      // Knock the element out of one uniformly chosen set.
+      switch (rng.uniform(3)) {
+        case 0: inst.xa[i] = false; break;
+        case 1: inst.xb[i] = false; break;
+        default: inst.xc[i] = false; break;
+      }
+    }
+  }
+  return inst;
+}
+
+NofDisjointnessInstance random_nof_intersecting(std::size_t m, double density,
+                                                Rng& rng) {
+  CC_REQUIRE(m >= 1, "universe must be nonempty");
+  NofDisjointnessInstance inst = random_nof_disjoint(m, density, rng);
+  const std::size_t hit = rng.uniform(m);
+  inst.xa[hit] = inst.xb[hit] = inst.xc[hit] = true;
+  return inst;
+}
+
+}  // namespace cclique

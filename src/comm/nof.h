@@ -1,0 +1,67 @@
+// Three-party number-on-forehead (NOF) substrate.
+//
+// In the 3-NOF model each player sees the other two players' inputs but not
+// its own ("on its forehead"). Section 3.6 reduces 3-NOF set disjointness to
+// triangle detection in CLIQUE-BCAST: a round lower bound for the latter
+// would follow from a strong enough communication lower bound for the
+// former. We provide the instance type and a metered blackboard; the actual
+// reduction (Theorem 24) lives in src/lowerbound/nof_reduction.*.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/model.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace cclique {
+
+/// 3-party set-disjointness instance over universe [0, m): is there an
+/// element in X_A ∩ X_B ∩ X_C?
+struct NofDisjointnessInstance {
+  std::vector<bool> xa, xb, xc;
+
+  std::size_t universe_size() const { return xa.size(); }
+
+  bool intersecting() const {
+    for (std::size_t i = 0; i < xa.size(); ++i) {
+      if (xa[i] && xb[i] && xc[i]) return true;
+    }
+    return false;
+  }
+};
+
+/// Each element joins each of the three sets independently w.p. `density`.
+NofDisjointnessInstance random_nof_instance(std::size_t m, double density, Rng& rng);
+
+/// Random instance conditioned on empty triple intersection.
+NofDisjointnessInstance random_nof_disjoint(std::size_t m, double density, Rng& rng);
+
+/// Random instance with exactly one planted triple-intersection element.
+NofDisjointnessInstance random_nof_intersecting(std::size_t m, double density,
+                                                Rng& rng);
+
+/// Metered shared blackboard for the NOF simulation; every written bit is
+/// charged to the protocol's communication complexity.
+class NofBlackboard {
+ public:
+  /// Player `who` (0, 1, 2) appends a message to the board.
+  void write(int who, const Message& m) {
+    CC_REQUIRE(who >= 0 && who < 3, "NOF player id out of range");
+    bits_[static_cast<std::size_t>(who)] += m.size_bits();
+    total_ += m.size_bits();
+  }
+
+  std::uint64_t total_bits() const { return total_; }
+  std::uint64_t bits_by(int who) const {
+    CC_REQUIRE(who >= 0 && who < 3, "NOF player id out of range");
+    return bits_[static_cast<std::size_t>(who)];
+  }
+
+ private:
+  std::uint64_t bits_[3] = {0, 0, 0};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace cclique

@@ -1,0 +1,59 @@
+#include "comm/two_party.h"
+
+namespace cclique {
+
+DisjointnessInstance random_disjointness(std::size_t n, double density, Rng& rng) {
+  DisjointnessInstance inst;
+  inst.x.resize(n);
+  inst.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    inst.x[i] = rng.bernoulli(density);
+    inst.y[i] = rng.bernoulli(density);
+  }
+  return inst;
+}
+
+DisjointnessInstance random_disjoint_instance(std::size_t n, double density, Rng& rng) {
+  DisjointnessInstance inst;
+  inst.x.resize(n);
+  inst.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.bernoulli(density)) {
+      // Element goes to exactly one side.
+      if (rng.coin()) {
+        inst.x[i] = true;
+      } else {
+        inst.y[i] = true;
+      }
+    }
+  }
+  return inst;
+}
+
+DisjointnessInstance random_intersecting_instance(std::size_t n, double density,
+                                                  Rng& rng) {
+  CC_REQUIRE(n >= 1, "universe must be nonempty");
+  DisjointnessInstance inst = random_disjoint_instance(n, density, rng);
+  const std::size_t hit = rng.uniform(n);
+  inst.x[hit] = true;
+  inst.y[hit] = true;
+  return inst;
+}
+
+bool trivial_disjointness_protocol(const DisjointnessInstance& inst,
+                                   TwoPartyChannel* channel) {
+  Message alices;
+  for (bool bit : inst.x) alices.push_bit(bit);
+  if (channel != nullptr) channel->send_from_alice(alices);
+  // Bob evaluates and announces.
+  bool disjoint = true;
+  for (std::size_t i = 0; i < inst.y.size(); ++i) {
+    if (inst.y[i] && alices.get(i)) disjoint = false;
+  }
+  Message verdict;
+  verdict.push_bit(disjoint);
+  if (channel != nullptr) channel->send_from_bob(verdict);
+  return disjoint;
+}
+
+}  // namespace cclique

@@ -1,0 +1,47 @@
+// Theorem 9: H-subgraph detection when ex(n, H) is unknown to the nodes.
+//
+// The Section 3.1 adaptive algorithm. One O(log n / b)-round phase
+// broadcasts the per-node sampling values X_v (uniform on [0, N), N the
+// largest power of two <= n), defining the nested subsample hierarchy
+//   G_j : keep edge {u,v} iff X_u = X_v (mod 2^j)      (Lemma 8 sampling).
+// The main loop makes doubling degeneracy guesses k_i = 2^i and, for each,
+// runs algorithm A(G_j, k_i) for every level j (sketch broadcasts exactly
+// as in Theorem 7):
+//   * success at any j with a copy of H in the reconstructed G_j — report
+//     it (always sound: G_j is a subgraph of G);
+//   * success at j = 0 with no copy — G itself is reconstructed: report
+//     H-free (sound);
+//   * otherwise keep going; the guess eventually reaches k_i >= n, where
+//     A(G_0, k_i) must succeed.
+// Lemma 8 drives the running time: degeneracy(G_j) concentrates around
+// k * 2^-j, so for H-containing graphs some sparse level both reconstructs
+// early (cheap sketches) and — degeneracy staying above the Claim 6
+// threshold 4ex(n,H)/n — still contains a copy of H w.h.p.
+#pragma once
+
+#include <optional>
+
+#include "comm/clique_broadcast.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace cclique {
+
+/// Result of the adaptive (unknown Turán number) detection protocol.
+struct AdaptiveDetectResult {
+  bool contains_h = false;
+  std::optional<std::vector<int>> embedding;  ///< a copy, when one was found
+  int final_guess = 0;       ///< k_i at termination
+  int final_level = 0;       ///< j at termination
+  int reconstruction_runs = 0;  ///< number of A(G_j, k_i) invocations
+  CommStats stats;
+};
+
+/// Runs the Theorem 9 protocol. `rng` models the nodes' private coins for
+/// the X_v draws. Never reports a false copy; reports "H-free" only from a
+/// full reconstruction of G (exact), so errors are one-sided *in running
+/// time* rather than in the verdict.
+AdaptiveDetectResult adaptive_subgraph_detect(CliqueBroadcast& net, const Graph& g,
+                                              const Graph& h, Rng& rng);
+
+}  // namespace cclique

@@ -1,0 +1,238 @@
+#include "core/dlp_triangle.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "graph/subgraph.h"
+#include "routing/router.h"
+#include "util/math_util.h"
+
+namespace cclique {
+
+namespace {
+
+// Multisets {a <= b <= c} over [t], lexicographically enumerated.
+std::vector<std::array<int, 3>> group_multisets(int t) {
+  std::vector<std::array<int, 3>> out;
+  for (int a = 0; a < t; ++a) {
+    for (int b = a; b < t; ++b) {
+      for (int c = b; c < t; ++c) out.push_back({a, b, c});
+    }
+  }
+  return out;
+}
+
+// Does multiset {a,b,c} contain the pair multiset {x,y}?
+bool multiset_contains_pair(const std::array<int, 3>& m, int x, int y) {
+  if (x == y) {
+    int count = 0;
+    for (int v : m) count += (v == x) ? 1 : 0;
+    return count >= 2;
+  }
+  bool has_x = false, has_y = false;
+  for (int v : m) {
+    if (v == x) has_x = true;
+    if (v == y) has_y = true;
+  }
+  return has_x && has_y;
+}
+
+// Routes every present edge of g to each player in `want_pair(edge groups)`
+// and returns the local edge lists. Sender of edge {u,v} is min(u,v).
+std::vector<std::vector<Edge>> route_edges(
+    CliqueUnicast& net, const Graph& g, const std::vector<int>& group_of,
+    const std::vector<std::vector<int>>& players_for_pair, int t) {
+  const int n = g.num_vertices();
+  const int addr = bits_for(static_cast<std::uint64_t>(n));
+  RoutingDemand demand;
+  demand.payload_bits = 2 * addr;
+  for (const Edge& e : g.edges()) {
+    const int gu = group_of[static_cast<std::size_t>(e.u)];
+    const int gv = group_of[static_cast<std::size_t>(e.v)];
+    const int lo = std::min(gu, gv), hi = std::max(gu, gv);
+    const std::uint64_t payload =
+        (static_cast<std::uint64_t>(e.u) << addr) | static_cast<std::uint64_t>(e.v);
+    for (int p : players_for_pair[static_cast<std::size_t>(lo) * static_cast<std::size_t>(t) +
+                                  static_cast<std::size_t>(hi)]) {
+      demand.messages.push_back(RoutedMessage{e.u, p, payload});
+    }
+  }
+  RoutingResult routed = route_two_phase(net, demand);
+  std::vector<std::vector<Edge>> local(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    for (const auto& [src, payload] : routed.delivered[static_cast<std::size_t>(p)]) {
+      (void)src;
+      const int u = static_cast<int>(payload >> addr);
+      const int v = static_cast<int>(payload & ((1ULL << addr) - 1));
+      local[static_cast<std::size_t>(p)].push_back(Edge(u, v));
+    }
+  }
+  return local;
+}
+
+// Is there a triangle among this edge list?
+bool local_triangle(const std::vector<Edge>& edges, int n) {
+  Graph h(n);
+  for (const Edge& e : edges) h.add_edge(e.u, e.v);
+  return count_triangles(h) > 0;
+}
+
+// Final 1-bit aggregation of local verdicts to player 0 (one round).
+bool aggregate_verdicts(CliqueUnicast& net, const std::vector<bool>& found) {
+  const int n = net.n();
+  bool global = found[0];
+  net.round(
+      [&](int i) {
+        std::vector<Message> box(static_cast<std::size_t>(n));
+        if (i != 0) {
+          Message m;
+          m.push_bit(found[static_cast<std::size_t>(i)]);
+          box[0] = std::move(m);
+        }
+        return box;
+      },
+      [&](int receiver, const std::vector<Message>& inbox) {
+        if (receiver != 0) return;
+        for (int j = 1; j < n; ++j) {
+          if (!inbox[static_cast<std::size_t>(j)].empty() &&
+              inbox[static_cast<std::size_t>(j)].get(0)) {
+            global = true;
+          }
+        }
+      });
+  return global;
+}
+
+}  // namespace
+
+DlpResult dlp_triangle_detect(CliqueUnicast& net, const Graph& g) {
+  const int n = g.num_vertices();
+  CC_REQUIRE(net.n() == n, "one player per vertex");
+  // Largest t whose multiset count fits the player budget.
+  int t = 1;
+  while (static_cast<std::uint64_t>(t + 1) * static_cast<std::uint64_t>(t + 2) *
+             static_cast<std::uint64_t>(t + 3) / 6 <= static_cast<std::uint64_t>(n)) {
+    ++t;
+  }
+  const auto multisets = group_multisets(t);
+  CC_CHECK(static_cast<int>(multisets.size()) <= n, "multiset assignment overflow");
+
+  std::vector<int> group_of(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) group_of[static_cast<std::size_t>(v)] = v % t;
+
+  // players_for_pair[(lo, hi)] = players whose multiset contains the pair.
+  std::vector<std::vector<int>> players_for_pair(static_cast<std::size_t>(t) *
+                                                 static_cast<std::size_t>(t));
+  for (std::size_t p = 0; p < multisets.size(); ++p) {
+    for (int lo = 0; lo < t; ++lo) {
+      for (int hi = lo; hi < t; ++hi) {
+        if (multiset_contains_pair(multisets[p], lo, hi)) {
+          players_for_pair[static_cast<std::size_t>(lo) * static_cast<std::size_t>(t) +
+                           static_cast<std::size_t>(hi)]
+              .push_back(static_cast<int>(p));
+        }
+      }
+    }
+  }
+
+  const auto local = route_edges(net, g, group_of, players_for_pair, t);
+  std::vector<bool> found(static_cast<std::size_t>(n), false);
+  for (int p = 0; p < n; ++p) {
+    found[static_cast<std::size_t>(p)] = local_triangle(local[static_cast<std::size_t>(p)], n);
+  }
+
+  DlpResult result;
+  result.detected = aggregate_verdicts(net, found);
+  result.groups = t;
+  result.stats = net.stats();
+  return result;
+}
+
+DlpResult dlp_triangle_detect_promised(CliqueUnicast& net, const Graph& g,
+                                       std::uint64_t promised_triangles, int runs,
+                                       Rng& rng) {
+  const int n = g.num_vertices();
+  CC_REQUIRE(net.n() == n, "one player per vertex");
+  CC_REQUIRE(promised_triangles >= 1, "promise must be at least one triangle");
+  CC_REQUIRE(runs >= 1, "need at least one run");
+
+  // t = ((n * T)^{1/3}) groups: per-player load n^2/t^2 edges, coverage of a
+  // fixed triangle by n random triples ~ n/t^3 >= 1/T.
+  const double cube = std::cbrt(static_cast<double>(n) * static_cast<double>(promised_triangles));
+  int t = std::max(1, static_cast<int>(cube));
+  t = std::min(t, n);
+
+  std::vector<int> group_of(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) group_of[static_cast<std::size_t>(v)] = v % t;
+  const int taddr = bits_for(static_cast<std::uint64_t>(t));
+
+  DlpResult result;
+  result.groups = t;
+  bool detected = false;
+
+  for (int run = 0; run < runs && !detected; ++run) {
+    // Each player draws a private random group triple...
+    std::vector<std::array<int, 3>> triple(static_cast<std::size_t>(n));
+    for (int p = 0; p < n; ++p) {
+      std::array<int, 3> tr{static_cast<int>(rng.uniform(static_cast<std::uint64_t>(t))),
+                            static_cast<int>(rng.uniform(static_cast<std::uint64_t>(t))),
+                            static_cast<int>(rng.uniform(static_cast<std::uint64_t>(t)))};
+      std::sort(tr.begin(), tr.end());
+      triple[static_cast<std::size_t>(p)] = tr;
+    }
+    // ...and announces it to everyone (one round, 3 log t bits per edge).
+    std::vector<std::array<int, 3>> announced(static_cast<std::size_t>(n));
+    net.round(
+        [&](int i) {
+          Message m;
+          for (int x : triple[static_cast<std::size_t>(i)]) {
+            m.push_uint(static_cast<std::uint64_t>(x), taddr);
+          }
+          std::vector<Message> box(static_cast<std::size_t>(n));
+          for (int j = 0; j < n; ++j) {
+            if (j != i) box[static_cast<std::size_t>(j)] = m;
+          }
+          return box;
+        },
+        [&](int receiver, const std::vector<Message>& inbox) {
+          for (int j = 0; j < n; ++j) {
+            if (j == receiver) {
+              announced[static_cast<std::size_t>(j)] = triple[static_cast<std::size_t>(j)];
+              continue;
+            }
+            const Message& m = inbox[static_cast<std::size_t>(j)];
+            if (m.empty()) continue;
+            BitReader r(m);
+            std::array<int, 3> tr;
+            for (auto& x : tr) x = static_cast<int>(r.read_uint(taddr));
+            announced[static_cast<std::size_t>(j)] = tr;
+          }
+        });
+    // Everyone now knows all triples; build the pair->players map and route.
+    std::vector<std::vector<int>> players_for_pair(static_cast<std::size_t>(t) *
+                                                   static_cast<std::size_t>(t));
+    for (int p = 0; p < n; ++p) {
+      for (int lo = 0; lo < t; ++lo) {
+        for (int hi = lo; hi < t; ++hi) {
+          if (multiset_contains_pair(announced[static_cast<std::size_t>(p)], lo, hi)) {
+            players_for_pair[static_cast<std::size_t>(lo) * static_cast<std::size_t>(t) +
+                             static_cast<std::size_t>(hi)]
+                .push_back(p);
+          }
+        }
+      }
+    }
+    const auto local = route_edges(net, g, group_of, players_for_pair, t);
+    std::vector<bool> found(static_cast<std::size_t>(n), false);
+    for (int p = 0; p < n; ++p) {
+      found[static_cast<std::size_t>(p)] = local_triangle(local[static_cast<std::size_t>(p)], n);
+    }
+    detected = aggregate_verdicts(net, found);
+  }
+  result.detected = detected;
+  result.stats = net.stats();
+  return result;
+}
+
+}  // namespace cclique

@@ -1,0 +1,228 @@
+#include "core/mst.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "util/math_util.h"
+
+namespace cclique {
+
+namespace {
+
+// Tie-broken comparison key: (weight, min endpoint, max endpoint).
+std::uint64_t edge_key(int u, int v, std::uint32_t w) {
+  const std::uint64_t lo = static_cast<std::uint64_t>(std::min(u, v));
+  const std::uint64_t hi = static_cast<std::uint64_t>(std::max(u, v));
+  return (static_cast<std::uint64_t>(w) << 26) | (lo << 13) | hi;
+}
+
+struct UnionFind {
+  std::vector<int> parent;
+  explicit UnionFind(int n) : parent(static_cast<std::size_t>(n)) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  int find(int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  bool unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    // Deterministic: smaller root wins, so every node computes the same
+    // forest.
+    if (a > b) std::swap(a, b);
+    parent[static_cast<std::size_t>(b)] = a;
+    return true;
+  }
+};
+
+}  // namespace
+
+MstResult clique_mst(CliqueUnicast& net, const Graph& g,
+                     const std::vector<std::uint32_t>& weights) {
+  const int n = g.num_vertices();
+  CC_REQUIRE(net.n() == n, "one player per vertex");
+  CC_REQUIRE(n <= (1 << 13), "vertex ids exceed the packed edge-key width");
+  const auto edges = g.edges();
+  CC_REQUIRE(weights.size() == edges.size(), "one weight per edge");
+
+  // Local incident-edge tables (this is the nodes' input knowledge).
+  std::map<std::pair<int, int>, std::uint32_t> weight_of;
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    weight_of[{edges[e].u, edges[e].v}] = weights[e];
+  }
+  auto incident_weight = [&](int u, int v) {
+    auto it = weight_of.find({std::min(u, v), std::max(u, v)});
+    CC_CHECK(it != weight_of.end(), "edge weight lookup failed");
+    return it->second;
+  };
+
+  const int addr = bits_for(static_cast<std::uint64_t>(std::max(1, n)));
+  MstResult result;
+  // Every node tracks the fragment of every node (consistent by
+  // construction: identical deterministic merges everywhere).
+  UnionFind fragments(n);
+
+  for (int phase = 0; phase < n; ++phase) {
+    // --- step 1: fragment announcement (1 round) ---------------------
+    // Fragment states are already consistent; the announcement models the
+    // information flow (each node broadcasts its fragment id).
+    std::vector<int> frag(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) frag[static_cast<std::size_t>(v)] = fragments.find(v);
+    net.round(
+        [&](int i) {
+          Message m;
+          m.push_uint(static_cast<std::uint64_t>(frag[static_cast<std::size_t>(i)]), addr);
+          std::vector<Message> box(static_cast<std::size_t>(n));
+          for (int j = 0; j < n; ++j) {
+            if (j != i) box[static_cast<std::size_t>(j)] = m;
+          }
+          return box;
+        },
+        [&](int, const std::vector<Message>&) {});
+
+    // --- step 2: lightest outgoing edge per node -> fragment leader ---
+    // candidate[v] = v's lightest incident edge leaving its fragment.
+    struct Candidate {
+      bool valid = false;
+      int u = 0, v = 0;
+      std::uint32_t w = 0;
+    };
+    std::vector<Candidate> node_candidate(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) {
+      Candidate best;
+      for (int u : g.neighbors(v)) {
+        if (frag[static_cast<std::size_t>(u)] == frag[static_cast<std::size_t>(v)]) continue;
+        const std::uint32_t w = incident_weight(v, u);
+        if (!best.valid || edge_key(v, u, w) < edge_key(best.u, best.v, best.w)) {
+          best = Candidate{true, v, u, w};
+        }
+      }
+      node_candidate[static_cast<std::size_t>(v)] = best;
+    }
+    // One message per node to its leader (leader = fragment root id).
+    std::vector<Candidate> leader_best(static_cast<std::size_t>(n));
+    net.round(
+        [&](int i) {
+          std::vector<Message> box(static_cast<std::size_t>(n));
+          const Candidate& c = node_candidate[static_cast<std::size_t>(i)];
+          const int leader = frag[static_cast<std::size_t>(i)];
+          if (c.valid && leader != i) {
+            Message m;
+            m.push_uint(static_cast<std::uint64_t>(c.u), addr);
+            m.push_uint(static_cast<std::uint64_t>(c.v), addr);
+            m.push_uint(c.w, 32);
+            box[static_cast<std::size_t>(leader)] = std::move(m);
+          }
+          return box;
+        },
+        [&](int leader, const std::vector<Message>& inbox) {
+          Candidate& best = leader_best[static_cast<std::size_t>(leader)];
+          // Leader's own candidate participates.
+          const Candidate& own = node_candidate[static_cast<std::size_t>(leader)];
+          if (own.valid && frag[static_cast<std::size_t>(leader)] == leader) best = own;
+          for (int j = 0; j < n; ++j) {
+            const Message& m = inbox[static_cast<std::size_t>(j)];
+            if (m.empty()) continue;
+            BitReader r(m);
+            Candidate c;
+            c.valid = true;
+            c.u = static_cast<int>(r.read_uint(addr));
+            c.v = static_cast<int>(r.read_uint(addr));
+            c.w = static_cast<std::uint32_t>(r.read_uint(32));
+            if (!best.valid || edge_key(c.u, c.v, c.w) < edge_key(best.u, best.v, best.w)) {
+              best = c;
+            }
+          }
+        });
+
+    // --- step 3: leaders announce merge edges (1 round); local merge ---
+    std::vector<Candidate> announced(static_cast<std::size_t>(n));
+    net.round(
+        [&](int i) {
+          std::vector<Message> box(static_cast<std::size_t>(n));
+          const Candidate& c = leader_best[static_cast<std::size_t>(i)];
+          if (frag[static_cast<std::size_t>(i)] == i && c.valid) {
+            Message m;
+            m.push_uint(static_cast<std::uint64_t>(c.u), addr);
+            m.push_uint(static_cast<std::uint64_t>(c.v), addr);
+            m.push_uint(c.w, 32);
+            for (int j = 0; j < n; ++j) {
+              if (j != i) box[static_cast<std::size_t>(j)] = m;
+            }
+          }
+          return box;
+        },
+        [&](int receiver, const std::vector<Message>& inbox) {
+          if (receiver != 0) return;  // everyone decodes identically; model once
+          for (int j = 0; j < n; ++j) {
+            const Message& m = inbox[static_cast<std::size_t>(j)];
+            if (m.empty()) continue;
+            BitReader r(m);
+            Candidate c;
+            c.valid = true;
+            c.u = static_cast<int>(r.read_uint(addr));
+            c.v = static_cast<int>(r.read_uint(addr));
+            c.w = static_cast<std::uint32_t>(r.read_uint(32));
+            announced[static_cast<std::size_t>(j)] = c;
+          }
+        });
+    // Leaders' own announcements (self-knowledge).
+    for (int i = 0; i < n; ++i) {
+      if (frag[static_cast<std::size_t>(i)] == i && leader_best[static_cast<std::size_t>(i)].valid) {
+        announced[static_cast<std::size_t>(i)] = leader_best[static_cast<std::size_t>(i)];
+      }
+    }
+
+    bool merged_any = false;
+    for (int i = 0; i < n; ++i) {
+      const Candidate& c = announced[static_cast<std::size_t>(i)];
+      if (!c.valid) continue;
+      if (fragments.unite(c.u, c.v)) {
+        result.tree.push_back(WeightedEdge{std::min(c.u, c.v), std::max(c.u, c.v), c.w});
+        result.total_weight += c.w;
+        merged_any = true;
+      }
+    }
+    ++result.phases;
+    if (!merged_any) break;
+  }
+
+  std::sort(result.tree.begin(), result.tree.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              return edge_key(a.u, a.v, a.weight) < edge_key(b.u, b.v, b.weight);
+            });
+  result.stats = net.stats();
+  return result;
+}
+
+std::vector<WeightedEdge> kruskal_reference(const Graph& g,
+                                            const std::vector<std::uint32_t>& weights) {
+  const auto edges = g.edges();
+  CC_REQUIRE(weights.size() == edges.size(), "one weight per edge");
+  std::vector<std::size_t> order(edges.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return edge_key(edges[a].u, edges[a].v, weights[a]) <
+           edge_key(edges[b].u, edges[b].v, weights[b]);
+  });
+  UnionFind uf(g.num_vertices());
+  std::vector<WeightedEdge> tree;
+  for (std::size_t e : order) {
+    if (uf.unite(edges[e].u, edges[e].v)) {
+      tree.push_back(WeightedEdge{edges[e].u, edges[e].v, weights[e]});
+    }
+  }
+  std::sort(tree.begin(), tree.end(), [](const WeightedEdge& a, const WeightedEdge& b) {
+    return edge_key(a.u, a.v, a.weight) < edge_key(b.u, b.v, b.weight);
+  });
+  return tree;
+}
+
+}  // namespace cclique

@@ -1,0 +1,53 @@
+// Minimum spanning tree on the congested clique (extension module).
+//
+// MST is the problem that started the congested-clique literature the
+// paper builds on: Lotker, Pavlov, Patt-Shamir and Peleg [30] gave an
+// O(log log n)-round algorithm. We implement the classical Borůvka
+// schedule on CLIQUE-UCAST — O(log n) phases of O(1) rounds each:
+//   1. every node announces its fragment id to everyone (1 round);
+//   2. every node reports its lightest outgoing edge to its fragment
+//      leader (1 round — distinct senders, distinct edges);
+//   3. every leader announces its fragment's merge edge to everyone
+//      (1 round); all nodes merge fragments locally and consistently.
+// This exercises the same per-round Θ(n^2 b) capacity the [30] algorithm
+// exploits, and provides the baseline the E12 capacity bench discusses.
+//
+// Edge weights must be distinct (ties are broken by endpoint ids
+// internally, so any weights work; the returned MST is unique under the
+// tie-broken order).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/clique_unicast.h"
+#include "graph/graph.h"
+
+namespace cclique {
+
+/// A weighted edge of the input graph.
+struct WeightedEdge {
+  int u = 0;
+  int v = 0;
+  std::uint32_t weight = 0;
+};
+
+/// Result of the distributed MST computation.
+struct MstResult {
+  std::vector<WeightedEdge> tree;  ///< MST/forest edges, known to all nodes
+  std::uint64_t total_weight = 0;
+  int phases = 0;  ///< Borůvka phases executed (<= ceil(log2 n))
+  CommStats stats;
+};
+
+/// Runs Borůvka's algorithm over the clique. Node i initially knows the
+/// weights of the edges of `g` incident to vertex i (weights[e] indexed by
+/// g.edges() order). Returns the minimum spanning forest.
+MstResult clique_mst(CliqueUnicast& net, const Graph& g,
+                     const std::vector<std::uint32_t>& weights);
+
+/// Reference single-machine Kruskal for verification (same tie-breaking).
+std::vector<WeightedEdge> kruskal_reference(const Graph& g,
+                                            const std::vector<std::uint32_t>& weights);
+
+}  // namespace cclique

@@ -1,0 +1,169 @@
+#include "core/sorting.h"
+
+#include <algorithm>
+
+#include "routing/router.h"
+#include "util/math_util.h"
+
+namespace cclique {
+
+SortResult clique_sort(CliqueUnicast& net,
+                       const std::vector<std::vector<std::uint32_t>>& inputs) {
+  const int n = net.n();
+  CC_REQUIRE(static_cast<int>(inputs.size()) == n, "one input block per player");
+  const std::size_t k = inputs.empty() ? 0 : inputs[0].size();
+  for (const auto& block : inputs) {
+    CC_REQUIRE(block.size() == k, "all players must hold equally many keys");
+  }
+  CC_REQUIRE(k >= 1, "need at least one key per player");
+
+  // Phase 0: local sort (free — computation is not charged).
+  std::vector<std::vector<std::uint32_t>> local(inputs);
+  for (auto& block : local) std::sort(block.begin(), block.end());
+
+  // Phase 1a: regular samples — player i sends its (j+1)/(n+1) quantile to
+  // player j (one 32-bit message per edge, 1 chunked exchange).
+  std::vector<std::vector<std::uint32_t>> column(static_cast<std::size_t>(n));
+  net.round(
+      [&](int i) {
+        std::vector<Message> box(static_cast<std::size_t>(n));
+        for (int j = 0; j < n; ++j) {
+          if (j == i) continue;
+          std::size_t idx = (static_cast<std::size_t>(j) + 1) * k /
+                            (static_cast<std::size_t>(n) + 1);
+          if (idx >= k) idx = k - 1;
+          Message m;
+          m.push_uint(local[static_cast<std::size_t>(i)][idx], 32);
+          box[static_cast<std::size_t>(j)] = std::move(m);
+        }
+        return box;
+      },
+      [&](int j, const std::vector<Message>& inbox) {
+        for (int i = 0; i < n; ++i) {
+          if (i == j) {
+            std::size_t idx = (static_cast<std::size_t>(j) + 1) * k /
+                              (static_cast<std::size_t>(n) + 1);
+            if (idx >= k) idx = k - 1;
+            column[static_cast<std::size_t>(j)].push_back(local[static_cast<std::size_t>(j)][idx]);
+            continue;
+          }
+          const Message& m = inbox[static_cast<std::size_t>(i)];
+          if (!m.empty()) {
+            column[static_cast<std::size_t>(j)].push_back(
+                static_cast<std::uint32_t>(m.read_uint(0, 32)));
+          }
+        }
+      });
+
+  // Player j's splitter = median of its sample column; all-gather them.
+  std::vector<std::uint32_t> my_splitter(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    auto& col = column[static_cast<std::size_t>(j)];
+    std::sort(col.begin(), col.end());
+    my_splitter[static_cast<std::size_t>(j)] = col[col.size() / 2];
+  }
+  std::vector<std::uint32_t> splitters(static_cast<std::size_t>(n));
+  net.round(
+      [&](int i) {
+        Message m;
+        m.push_uint(my_splitter[static_cast<std::size_t>(i)], 32);
+        std::vector<Message> box(static_cast<std::size_t>(n));
+        for (int j = 0; j < n; ++j) {
+          if (j != i) box[static_cast<std::size_t>(j)] = m;
+        }
+        return box;
+      },
+      [&](int receiver, const std::vector<Message>& inbox) {
+        if (receiver != 0) return;  // identical decode everywhere; model once
+        for (int i = 0; i < n; ++i) {
+          splitters[static_cast<std::size_t>(i)] =
+              (i == 0 && inbox[0].empty())
+                  ? my_splitter[0]
+                  : (inbox[static_cast<std::size_t>(i)].empty()
+                         ? my_splitter[static_cast<std::size_t>(i)]
+                         : static_cast<std::uint32_t>(
+                               inbox[static_cast<std::size_t>(i)].read_uint(0, 32)));
+        }
+      });
+  std::sort(splitters.begin(), splitters.end());
+  // The last splitter is unused (bucket n-1 is open-ended).
+  splitters.pop_back();
+
+  // Phase 2: route every key to its bucket owner.
+  RoutingDemand demand;
+  demand.payload_bits = 32;
+  for (int i = 0; i < n; ++i) {
+    for (std::uint32_t key : local[static_cast<std::size_t>(i)]) {
+      const int bucket = static_cast<int>(
+          std::upper_bound(splitters.begin(), splitters.end(), key) -
+          splitters.begin());
+      demand.messages.push_back(RoutedMessage{i, bucket, key});
+    }
+  }
+  RoutingResult bucketed = route_two_phase(net, demand);
+  std::vector<std::vector<std::uint32_t>> bucket_keys(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    for (const auto& [src, payload] : bucketed.delivered[static_cast<std::size_t>(j)]) {
+      (void)src;
+      bucket_keys[static_cast<std::size_t>(j)].push_back(static_cast<std::uint32_t>(payload));
+    }
+    std::sort(bucket_keys[static_cast<std::size_t>(j)].begin(),
+              bucket_keys[static_cast<std::size_t>(j)].end());
+  }
+
+  // Phase 3: all-gather bucket counts; compute exact rank offsets; route
+  // each key to its final owner (rank / k).
+  const int count_bits = bits_for(static_cast<std::uint64_t>(n) * k + 1);
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(n), 0);
+  net.round(
+      [&](int i) {
+        Message m;
+        m.push_uint(bucket_keys[static_cast<std::size_t>(i)].size(), count_bits);
+        std::vector<Message> box(static_cast<std::size_t>(n));
+        for (int j = 0; j < n; ++j) {
+          if (j != i) box[static_cast<std::size_t>(j)] = m;
+        }
+        return box;
+      },
+      [&](int receiver, const std::vector<Message>& inbox) {
+        if (receiver != 0) return;
+        for (int i = 0; i < n; ++i) {
+          counts[static_cast<std::size_t>(i)] =
+              inbox[static_cast<std::size_t>(i)].empty()
+                  ? bucket_keys[static_cast<std::size_t>(i)].size()
+                  : inbox[static_cast<std::size_t>(i)].read_uint(0, count_bits);
+        }
+      });
+  std::vector<std::uint64_t> offset(static_cast<std::size_t>(n) + 1, 0);
+  for (int i = 0; i < n; ++i) {
+    offset[static_cast<std::size_t>(i) + 1] = offset[static_cast<std::size_t>(i)] + counts[static_cast<std::size_t>(i)];
+  }
+  CC_CHECK(offset[static_cast<std::size_t>(n)] == static_cast<std::uint64_t>(n) * k,
+           "bucket counts must cover all keys");
+
+  RoutingDemand final_demand;
+  final_demand.payload_bits = 32;
+  for (int i = 0; i < n; ++i) {
+    for (std::size_t t = 0; t < bucket_keys[static_cast<std::size_t>(i)].size(); ++t) {
+      const std::uint64_t rank = offset[static_cast<std::size_t>(i)] + t;
+      final_demand.messages.push_back(RoutedMessage{
+          i, static_cast<int>(rank / k), bucket_keys[static_cast<std::size_t>(i)][t]});
+    }
+  }
+  RoutingResult placed = route_two_phase(net, final_demand);
+
+  SortResult result;
+  result.blocks.assign(static_cast<std::size_t>(n), {});
+  for (int j = 0; j < n; ++j) {
+    for (const auto& [src, payload] : placed.delivered[static_cast<std::size_t>(j)]) {
+      (void)src;
+      result.blocks[static_cast<std::size_t>(j)].push_back(static_cast<std::uint32_t>(payload));
+    }
+    std::sort(result.blocks[static_cast<std::size_t>(j)].begin(),
+              result.blocks[static_cast<std::size_t>(j)].end());
+  }
+  result.stats = net.stats();
+  return result;
+}
+
+}  // namespace cclique

@@ -1,0 +1,41 @@
+// Distributed sorting on the congested clique (extension module).
+//
+// The round complexity of clique sorting is the subject of [32]
+// (Patt-Shamir & Teplitsky) and was settled deterministically by Lenzen
+// [28] — the same paper whose routing primitive Theorem 2 uses. We
+// implement a constant-phase sample-sort over the routing substrate:
+//
+//   1. local sort; every player broadcasts one regular sample per player
+//      (its (i+1)/(n+1) quantile to player i, then an all-gather round) —
+//      O(1) rounds;
+//   2. every key is routed to the bucket player owning its splitter range
+//      (balanced demand: regular sampling bounds every bucket by ~2x the
+//      average — routed by the deterministic two-phase router);
+//   3. bucket counts are all-gathered; every player computes the exact
+//      global rank offsets and routes each key to its final owner, so
+//      player i ends with the keys of rank [i*k, (i+1)*k), sorted.
+//
+// Output contract and verification mirror [28]'s sorting specification.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/clique_unicast.h"
+
+namespace cclique {
+
+/// Result of the distributed sort.
+struct SortResult {
+  /// blocks[i] = keys held by player i afterwards (sorted); concatenating
+  /// blocks yields the globally sorted sequence.
+  std::vector<std::vector<std::uint32_t>> blocks;
+  CommStats stats;
+};
+
+/// Sorts n*k keys (player i contributes inputs[i], all of size k) so that
+/// player i ends with ranks [i*k, (i+1)*k). Keys need not be distinct.
+SortResult clique_sort(CliqueUnicast& net,
+                       const std::vector<std::vector<std::uint32_t>>& inputs);
+
+}  // namespace cclique

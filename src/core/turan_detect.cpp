@@ -1,0 +1,99 @@
+#include "core/turan_detect.h"
+
+#include "graph/subgraph.h"
+#include "graph/turan.h"
+#include "sketch/sketch.h"
+#include "util/math_util.h"
+
+namespace cclique {
+
+namespace {
+
+// Serializes a node sketch into a broadcast payload.
+Message serialize_sketch(const NodeSketch& s, int n) {
+  Message m;
+  m.push_uint(s.degree, bits_for(static_cast<std::uint64_t>(n) + 1));
+  for (std::uint64_t p : s.power_sums) m.push_uint(p, 61);
+  return m;
+}
+
+NodeSketch deserialize_sketch(const Message& m, int k, int n) {
+  BitReader r(m);
+  NodeSketch s;
+  s.degree = r.read_uint(bits_for(static_cast<std::uint64_t>(n) + 1));
+  s.power_sums.resize(static_cast<std::size_t>(2 * k));
+  for (auto& p : s.power_sums) p = r.read_uint(61);
+  return s;
+}
+
+}  // namespace
+
+TuranDetectResult turan_subgraph_detect(CliqueBroadcast& net, const Graph& g,
+                                        const Graph& h) {
+  const int n = g.num_vertices();
+  CC_REQUIRE(net.n() == n, "one node per vertex");
+  TuranDetectResult result;
+  result.degeneracy_cap = degeneracy_cap_if_h_free(static_cast<std::uint64_t>(n), h);
+  const int k = result.degeneracy_cap;
+
+  // One logical round of [2]'s algorithm A, chunked at b bits.
+  std::vector<Message> payloads(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    payloads[static_cast<std::size_t>(v)] = serialize_sketch(make_sketch(g, v, k), n);
+  }
+  int rounds_used = 0;
+  const std::vector<Message> board = broadcast_payloads(net, payloads, &rounds_used);
+
+  // Referee-side reconstruction (every node runs the same deterministic
+  // computation on the blackboard contents).
+  std::vector<NodeSketch> sketches;
+  sketches.reserve(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    sketches.push_back(deserialize_sketch(board[static_cast<std::size_t>(v)], k, n));
+  }
+  ReconstructionResult rec = reconstruct_from_sketches(std::move(sketches), k, n);
+  result.reconstructed = rec.success;
+  if (rec.success) {
+    result.embedding = find_subgraph(rec.graph, h);
+    result.contains_h = result.embedding.has_value();
+    if (!result.contains_h) result.embedding.reset();
+  } else {
+    // Claim 6 contrapositive: degeneracy > 4 ex(n,H)/n forces a copy of H.
+    result.contains_h = true;
+  }
+  result.stats = net.stats();
+  return result;
+}
+
+TuranDetectResult full_broadcast_detect(CliqueBroadcast& net, const Graph& g,
+                                        const Graph& h) {
+  const int n = g.num_vertices();
+  CC_REQUIRE(net.n() == n, "one node per vertex");
+  // Node v broadcasts its adjacency row restricted to higher ids (each edge
+  // announced once: n(n-1)/2 total bits of blackboard traffic).
+  std::vector<Message> payloads(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    Message m;
+    for (int u = v + 1; u < n; ++u) m.push_bit(g.has_edge(v, u));
+    payloads[static_cast<std::size_t>(v)] = std::move(m);
+  }
+  int rounds_used = 0;
+  const std::vector<Message> board = broadcast_payloads(net, payloads, &rounds_used);
+
+  Graph rec(n);
+  for (int v = 0; v < n; ++v) {
+    const Message& m = board[static_cast<std::size_t>(v)];
+    for (int u = v + 1; u < n; ++u) {
+      if (m.get(static_cast<std::size_t>(u - v - 1))) rec.add_edge(v, u);
+    }
+  }
+  TuranDetectResult result;
+  result.reconstructed = true;
+  result.embedding = find_subgraph(rec, h);
+  result.contains_h = result.embedding.has_value();
+  if (!result.contains_h) result.embedding.reset();
+  result.stats = net.stats();
+  return result;
+}
+
+}  // namespace cclique

@@ -1,0 +1,77 @@
+#include "graph/degeneracy.h"
+
+#include <algorithm>
+
+namespace cclique {
+
+DegeneracyResult compute_degeneracy(const Graph& g) {
+  const int n = g.num_vertices();
+  DegeneracyResult result;
+  result.order.reserve(static_cast<std::size_t>(n));
+  if (n == 0) return result;
+
+  std::vector<int> deg(static_cast<std::size_t>(n));
+  int max_deg = 0;
+  for (int v = 0; v < n; ++v) {
+    deg[static_cast<std::size_t>(v)] = g.degree(v);
+    max_deg = std::max(max_deg, deg[static_cast<std::size_t>(v)]);
+  }
+
+  // Bucket queue keyed by current residual degree.
+  std::vector<std::vector<int>> buckets(static_cast<std::size_t>(max_deg) + 1);
+  for (int v = 0; v < n; ++v) buckets[static_cast<std::size_t>(deg[static_cast<std::size_t>(v)])].push_back(v);
+  std::vector<bool> removed(static_cast<std::size_t>(n), false);
+
+  int cursor = 0;  // smallest possibly non-empty bucket
+  for (int peeled = 0; peeled < n; ++peeled) {
+    // The residual degree of a vertex only drops by 1 per removed neighbor,
+    // so after taking a vertex from bucket d, the next minimum is >= d - 1.
+    cursor = std::max(0, cursor - 1);
+    int v = -1;
+    while (v < 0) {
+      auto& b = buckets[static_cast<std::size_t>(cursor)];
+      while (!b.empty()) {
+        int candidate = b.back();
+        b.pop_back();
+        // Lazy deletion: skip stale entries whose degree has changed.
+        if (!removed[static_cast<std::size_t>(candidate)] &&
+            deg[static_cast<std::size_t>(candidate)] == cursor) {
+          v = candidate;
+          break;
+        }
+      }
+      if (v < 0) ++cursor;
+    }
+    removed[static_cast<std::size_t>(v)] = true;
+    result.order.push_back(v);
+    result.degeneracy = std::max(result.degeneracy, cursor);
+    for (int u : g.neighbors(v)) {
+      if (!removed[static_cast<std::size_t>(u)]) {
+        int d = --deg[static_cast<std::size_t>(u)];
+        buckets[static_cast<std::size_t>(d)].push_back(u);
+      }
+    }
+  }
+  return result;
+}
+
+bool is_elimination_order(const Graph& g, const std::vector<int>& order, int k) {
+  const int n = g.num_vertices();
+  if (static_cast<int>(order.size()) != n) return false;
+  std::vector<int> position(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    int v = order[static_cast<std::size_t>(i)];
+    if (v < 0 || v >= n || position[static_cast<std::size_t>(v)] != -1) return false;
+    position[static_cast<std::size_t>(v)] = i;
+  }
+  for (int v = 0; v < n; ++v) {
+    int later = 0;
+    for (int u : g.neighbors(v)) {
+      if (position[static_cast<std::size_t>(u)] > position[static_cast<std::size_t>(v)]) ++later;
+    }
+    if (later > k) return false;
+  }
+  return true;
+}
+
+}  // namespace cclique

@@ -1,0 +1,32 @@
+// Degeneracy and degeneracy orderings.
+//
+// The degeneracy of G is the smallest k such that every subgraph of G has a
+// vertex of degree at most k. It drives both directions of Section 3 of the
+// paper: the Becker-et-al. reconstruction works exactly when degeneracy <= k
+// (Theorem 7 / 9 upper bounds), and Claim 6 bounds the degeneracy of H-free
+// graphs by 4*ex(n,H)/n.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cclique {
+
+/// Result of the linear-time peeling computation.
+struct DegeneracyResult {
+  int degeneracy = 0;
+  /// Elimination order: order[i] is the i-th peeled vertex; every vertex has
+  /// at most `degeneracy` neighbors later in this order.
+  std::vector<int> order;
+};
+
+/// Computes degeneracy and a witnessing elimination order via bucket peeling
+/// (O(n + m)).
+DegeneracyResult compute_degeneracy(const Graph& g);
+
+/// Verifies that `order` is an elimination order witnessing degeneracy <= k,
+/// i.e. each vertex has at most k neighbors appearing later in the order.
+bool is_elimination_order(const Graph& g, const std::vector<int>& order, int k);
+
+}  // namespace cclique

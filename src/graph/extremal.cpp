@@ -1,0 +1,169 @@
+#include "graph/extremal.h"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <vector>
+
+#include "graph/generators.h"
+#include "util/math_util.h"
+
+namespace cclique {
+
+namespace {
+
+// Canonical homogeneous coordinates for the points of PG(2, q), q prime:
+// (1, a, b), (0, 1, b), (0, 0, 1) — exactly q^2 + q + 1 points.
+std::vector<std::array<std::uint64_t, 3>> pg2_points(std::uint64_t q) {
+  std::vector<std::array<std::uint64_t, 3>> pts;
+  pts.reserve(q * q + q + 1);
+  for (std::uint64_t a = 0; a < q; ++a) {
+    for (std::uint64_t b = 0; b < q; ++b) pts.push_back({1, a, b});
+  }
+  for (std::uint64_t b = 0; b < q; ++b) pts.push_back({0, 1, b});
+  pts.push_back({0, 0, 1});
+  return pts;
+}
+
+std::uint64_t dot3(const std::array<std::uint64_t, 3>& x,
+                   const std::array<std::uint64_t, 3>& y, std::uint64_t q) {
+  return (x[0] * y[0] + x[1] * y[1] + x[2] * y[2]) % q;
+}
+
+// BFS distance from s to t, capped at `limit` (returns limit+1 if farther).
+int bounded_distance(const Graph& g, int s, int t, int limit) {
+  if (s == t) return 0;
+  std::vector<int> dist(static_cast<std::size_t>(g.num_vertices()), -1);
+  std::vector<int> queue{s};
+  dist[static_cast<std::size_t>(s)] = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    int v = queue[head];
+    if (dist[static_cast<std::size_t>(v)] >= limit) break;
+    for (int u : g.neighbors(v)) {
+      if (dist[static_cast<std::size_t>(u)] < 0) {
+        dist[static_cast<std::size_t>(u)] = dist[static_cast<std::size_t>(v)] + 1;
+        if (u == t) return dist[static_cast<std::size_t>(u)];
+        queue.push_back(u);
+      }
+    }
+  }
+  return limit + 1;
+}
+
+}  // namespace
+
+Graph turan_graph(int n, int r) {
+  CC_REQUIRE(r >= 1, "Turán graph needs r >= 1 parts");
+  Graph g(n);
+  // part(v) = v mod r gives balanced parts.
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (u % r != v % r) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph polarity_graph(std::uint64_t q) {
+  CC_REQUIRE(is_prime(q), "polarity graph needs a prime order");
+  const auto pts = pg2_points(q);
+  Graph g(static_cast<int>(pts.size()));
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      if (dot3(pts[i], pts[j], q) == 0) {
+        g.add_edge(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+  }
+  return g;
+}
+
+Graph incidence_graph_pg2(std::uint64_t q) {
+  CC_REQUIRE(is_prime(q), "incidence graph needs a prime order");
+  const auto pts = pg2_points(q);  // lines share the same coordinates (duality)
+  const int half = static_cast<int>(pts.size());
+  Graph g(2 * half);
+  for (int p = 0; p < half; ++p) {
+    for (int l = 0; l < half; ++l) {
+      if (dot3(pts[static_cast<std::size_t>(p)], pts[static_cast<std::size_t>(l)], q) == 0) {
+        g.add_edge(p, half + l);
+      }
+    }
+  }
+  return g;
+}
+
+Graph high_girth_graph(int n, int min_girth_exclusive, Rng& rng) {
+  CC_REQUIRE(min_girth_exclusive >= 3, "girth bound must be >= 3");
+  Graph g(n);
+  std::vector<std::pair<int, int>> candidates;
+  candidates.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n - 1) / 2);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) candidates.emplace_back(u, v);
+  }
+  rng.shuffle(candidates);
+  for (auto [u, v] : candidates) {
+    // Adding {u,v} creates a cycle of length dist(u,v) + 1; keep the edge
+    // only if every new cycle is strictly longer than the girth bound.
+    if (bounded_distance(g, u, v, min_girth_exclusive - 1) >= min_girth_exclusive) {
+      g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph dense_cl_free_graph(int n, int l, Rng& rng) {
+  CC_REQUIRE(l >= 3, "cycle length must be >= 3");
+  if (l % 2 == 1) {
+    // Bipartite graphs contain no odd cycle; balanced complete bipartite is
+    // extremal (ex(n, C_odd) = floor(n^2/4) for n large enough).
+    return complete_bipartite(n / 2, n - n / 2);
+  }
+  if (l == 4) {
+    // Largest polarity graph fitting in n vertices, padded with isolated
+    // vertices; below the smallest plane (q = 2, 7 points) fall back to the
+    // greedy construction.
+    std::uint64_t q = 0;
+    for (std::uint64_t cand = 2; cand * cand + cand + 1 <= static_cast<std::uint64_t>(n); ++cand) {
+      if (is_prime(cand)) q = cand;
+    }
+    if (q < 2) return high_girth_graph(n, 4, rng);
+    Graph er = polarity_graph(q);
+    Graph g(n);
+    for (const Edge& e : er.edges()) g.add_edge(e.u, e.v);
+    return g;
+  }
+  return high_girth_graph(n, l, rng);
+}
+
+Graph bipartite_c4_free_graph(int n) {
+  std::uint64_t q = 0;
+  for (std::uint64_t cand = 2;
+       2 * (cand * cand + cand + 1) <= static_cast<std::uint64_t>(n); ++cand) {
+    if (is_prime(cand)) q = cand;
+  }
+  if (q >= 2) {
+    Graph inc = incidence_graph_pg2(q);
+    Graph g(n);
+    for (const Edge& e : inc.edges()) g.add_edge(e.u, e.v);
+    return g;
+  }
+  // Below the smallest incidence graph (14 vertices): greedy bipartite
+  // girth-6 construction between halves [0, n/2) and [n/2, n). Adding an
+  // edge at cross-distance >= 4 only creates cycles of length >= 6.
+  // Deterministic: derived RNG seeded by n.
+  Rng rng(0xB1FA57EEULL + static_cast<std::uint64_t>(n));
+  Graph g(n);
+  const int half = n / 2;
+  std::vector<std::pair<int, int>> candidates;
+  for (int u = 0; u < half; ++u) {
+    for (int v = half; v < n; ++v) candidates.emplace_back(u, v);
+  }
+  rng.shuffle(candidates);
+  for (auto [u, v] : candidates) {
+    if (bounded_distance(g, u, v, 3) >= 4) g.add_edge(u, v);
+  }
+  return g;
+}
+
+}  // namespace cclique

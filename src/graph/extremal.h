@@ -1,0 +1,52 @@
+// Dense H-free "extremal" constructions.
+//
+// The Section 3 lower bounds instantiate Definition 10 with a dense H-free
+// graph F: the denser F is, the larger the set-disjointness instance and the
+// stronger the implied round lower bound. This module provides the concrete
+// families the paper leans on:
+//   * Turán graphs (complete balanced multipartite) — clique-free extremal;
+//   * the Erdős–Rényi polarity graph ER_q of PG(2,q) — C4-free with
+//     (1/2) q (q+1)^2 edges on q^2+q+1 vertices, i.e. Θ(n^{3/2});
+//   * the point-line incidence graph of PG(2,q) — bipartite, girth 6;
+//   * greedy high-girth graphs — C_l-free fallback for arbitrary l.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace cclique {
+
+/// Complete balanced r-partite Turán graph on n vertices (K_{r+1}-free,
+/// extremal by Turán's theorem).
+Graph turan_graph(int n, int r);
+
+/// Erdős–Rényi polarity graph ER_q for a prime q: vertices are the points
+/// of PG(2, q) (projective plane over F_q), with x ~ y iff x·y = 0 (mod q)
+/// and x != y. C4-free; n = q^2 + q + 1; m = q(q+1)^2/2 - (absolute points
+/// adjustment). The standard witness that ex(n, C4) = Θ(n^{3/2}).
+Graph polarity_graph(std::uint64_t q);
+
+/// Bipartite point-line incidence graph of PG(2, q) for a prime q:
+/// 2(q^2+q+1) vertices, (q+1)(q^2+q+1) edges, girth 6 (so C4-free).
+Graph incidence_graph_pg2(std::uint64_t q);
+
+/// Greedy graph with girth > `min_girth_exclusive` on n vertices: candidate
+/// edges are tried in random order and kept when no short cycle appears.
+/// Produces Ω(n^{1 + 1/(g-1)})-ish densities — not extremal, but a valid
+/// C_l-free host for every l <= min_girth_exclusive.
+Graph high_girth_graph(int n, int min_girth_exclusive, Rng& rng);
+
+/// A dense C_l-free graph on n vertices (the "F" of Lemma 18):
+///   * odd l  -> complete balanced bipartite graph (ex exactly n^2/4);
+///   * l = 4  -> polarity graph restricted to n vertices;
+///   * even l >= 6 -> greedy high-girth graph.
+Graph dense_cl_free_graph(int n, int l, Rng& rng);
+
+/// A *bipartite* C4-free graph on n vertices with Θ(n^{3/2}) edges
+/// (Observation 20 instantiation): incidence graph of PG(2,q) restricted
+/// to n vertices.
+Graph bipartite_c4_free_graph(int n);
+
+}  // namespace cclique

@@ -1,0 +1,136 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cclique {
+
+Graph complete_graph(int n) {
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph cycle_graph(int n) {
+  CC_REQUIRE(n >= 3, "a cycle needs at least 3 vertices");
+  Graph g(n);
+  for (int v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
+  return g;
+}
+
+Graph path_graph(int n) {
+  Graph g(n);
+  for (int v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph star_graph(int n) {
+  CC_REQUIRE(n >= 1, "a star needs at least 1 vertex");
+  Graph g(n);
+  for (int v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph complete_bipartite(int a, int b) {
+  Graph g(a + b);
+  for (int u = 0; u < a; ++u) {
+    for (int v = 0; v < b; ++v) g.add_edge(u, a + v);
+  }
+  return g;
+}
+
+Graph gnp(int n, double p, Rng& rng) {
+  Graph g(n);
+  if (p <= 0.0) return g;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (p >= 1.0 || rng.bernoulli(p)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph gnm(int n, std::size_t m, Rng& rng) {
+  const std::size_t max_m =
+      static_cast<std::size_t>(n) * (static_cast<std::size_t>(n) - 1) / 2;
+  CC_REQUIRE(m <= max_m, "gnm: too many edges requested");
+  Graph g(n);
+  // Rejection sampling is fine below half density; otherwise sample the
+  // complement's edges to delete from K_n.
+  if (m <= max_m / 2) {
+    while (g.num_edges() < m) {
+      int u = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+      int v = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+      if (u != v) g.add_edge(u, v);
+    }
+  } else {
+    g = complete_graph(n);
+    while (g.num_edges() > m) {
+      int u = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+      int v = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+      if (u != v) g.remove_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph random_tree(int n, Rng& rng) {
+  CC_REQUIRE(n >= 1, "a tree needs at least 1 vertex");
+  Graph g(n);
+  if (n == 1) return g;
+  if (n == 2) {
+    g.add_edge(0, 1);
+    return g;
+  }
+  // Prüfer decoding gives a uniform labelled tree.
+  std::vector<int> prufer(static_cast<std::size_t>(n - 2));
+  for (auto& x : prufer) x = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+  std::vector<int> deg(static_cast<std::size_t>(n), 1);
+  for (int x : prufer) ++deg[static_cast<std::size_t>(x)];
+  // Repeatedly attach the smallest remaining leaf to the next Prüfer label.
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  for (int x : prufer) {
+    int leaf = -1;
+    for (int v = 0; v < n; ++v) {
+      if (deg[static_cast<std::size_t>(v)] == 1 && !used[static_cast<std::size_t>(v)]) {
+        leaf = v;
+        break;
+      }
+    }
+    g.add_edge(leaf, x);
+    used[static_cast<std::size_t>(leaf)] = true;
+    --deg[static_cast<std::size_t>(x)];
+  }
+  int a = -1, b = -1;
+  for (int v = 0; v < n; ++v) {
+    if (!used[static_cast<std::size_t>(v)] && deg[static_cast<std::size_t>(v)] == 1) {
+      (a < 0 ? a : b) = v;
+    }
+  }
+  g.add_edge(a, b);
+  return g;
+}
+
+std::vector<int> plant_subgraph(Graph& g, const Graph& h, Rng& rng) {
+  CC_REQUIRE(h.num_vertices() <= g.num_vertices(),
+             "plant_subgraph: pattern larger than host");
+  std::vector<int> pool(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(pool.begin(), pool.end(), 0);
+  rng.shuffle(pool);
+  pool.resize(static_cast<std::size_t>(h.num_vertices()));
+  for (const Edge& e : h.edges()) {
+    g.add_edge(pool[static_cast<std::size_t>(e.u)], pool[static_cast<std::size_t>(e.v)]);
+  }
+  return pool;
+}
+
+Graph shuffled(const Graph& g, Rng& rng) {
+  std::vector<int> perm(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.shuffle(perm);
+  return g.relabeled(perm);
+}
+
+}  // namespace cclique

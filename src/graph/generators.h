@@ -1,0 +1,42 @@
+// Standard graph generators used as protocol workloads and test fixtures.
+#pragma once
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace cclique {
+
+/// Complete graph K_n.
+Graph complete_graph(int n);
+
+/// Simple cycle C_n (n >= 3).
+Graph cycle_graph(int n);
+
+/// Simple path P_n on n vertices (n-1 edges).
+Graph path_graph(int n);
+
+/// Star K_{1,n-1}; vertex 0 is the center.
+Graph star_graph(int n);
+
+/// Complete bipartite K_{a,b}; left side is {0..a-1}, right {a..a+b-1}.
+Graph complete_bipartite(int a, int b);
+
+/// Erdős–Rényi G(n, p): each edge present independently with probability p.
+Graph gnp(int n, double p, Rng& rng);
+
+/// Uniform G(n, m): exactly m distinct edges chosen uniformly.
+Graph gnm(int n, std::size_t m, Rng& rng);
+
+/// Uniform random labelled tree on n vertices (Prüfer sequence).
+Graph random_tree(int n, Rng& rng);
+
+/// Plants a copy of `h` into `g` on a uniformly random set of |V(h)|
+/// distinct vertices of `g` (adds the mapped edges; existing edges are
+/// kept). Returns the image vertices in h-vertex order.
+std::vector<int> plant_subgraph(Graph& g, const Graph& h, Rng& rng);
+
+/// Random permutation of vertex labels; useful to destroy any structure a
+/// construction's labelling might leak to a detection algorithm.
+Graph shuffled(const Graph& g, Rng& rng);
+
+}  // namespace cclique

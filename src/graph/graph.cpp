@@ -1,0 +1,118 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cclique {
+
+Graph::Graph(int n) : n_(n) {
+  CC_REQUIRE(n >= 0, "graph size must be non-negative");
+  adj_.resize(static_cast<std::size_t>(n));
+  bits_.assign(static_cast<std::size_t>(n),
+               std::vector<std::uint64_t>((static_cast<std::size_t>(n) + 63) / 64, 0));
+}
+
+bool Graph::add_edge(int u, int v) {
+  check_vertex(u);
+  check_vertex(v);
+  CC_REQUIRE(u != v, "self-loops are not allowed");
+  if (has_edge(u, v)) return false;
+  bits_[u][static_cast<std::size_t>(v) >> 6] |= 1ULL << (static_cast<std::size_t>(v) & 63);
+  bits_[v][static_cast<std::size_t>(u) >> 6] |= 1ULL << (static_cast<std::size_t>(u) & 63);
+  adj_[u].insert(std::lower_bound(adj_[u].begin(), adj_[u].end(), v), v);
+  adj_[v].insert(std::lower_bound(adj_[v].begin(), adj_[v].end(), u), u);
+  ++m_;
+  return true;
+}
+
+bool Graph::remove_edge(int u, int v) {
+  check_vertex(u);
+  check_vertex(v);
+  if (u == v || !has_edge(u, v)) return false;
+  bits_[u][static_cast<std::size_t>(v) >> 6] &= ~(1ULL << (static_cast<std::size_t>(v) & 63));
+  bits_[v][static_cast<std::size_t>(u) >> 6] &= ~(1ULL << (static_cast<std::size_t>(u) & 63));
+  adj_[u].erase(std::lower_bound(adj_[u].begin(), adj_[u].end(), v));
+  adj_[v].erase(std::lower_bound(adj_[v].begin(), adj_[v].end(), u));
+  --m_;
+  return true;
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(m_);
+  for (int u = 0; u < n_; ++u) {
+    for (int v : adj_[u]) {
+      if (v > u) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+Graph Graph::induced_subgraph(const std::vector<int>& vertices) const {
+  Graph g(static_cast<int>(vertices.size()));
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (std::size_t j = i + 1; j < vertices.size(); ++j) {
+      CC_REQUIRE(vertices[i] != vertices[j],
+                 "induced_subgraph vertices must be distinct");
+      if (has_edge(vertices[i], vertices[j])) {
+        g.add_edge(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+  }
+  return g;
+}
+
+Graph Graph::relabeled(const std::vector<int>& perm) const {
+  CC_REQUIRE(static_cast<int>(perm.size()) == n_, "permutation size mismatch");
+  std::vector<bool> seen(static_cast<std::size_t>(n_), false);
+  for (int p : perm) {
+    CC_REQUIRE(p >= 0 && p < n_ && !seen[static_cast<std::size_t>(p)],
+               "relabeled() needs a permutation");
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+  Graph g(n_);
+  for (int u = 0; u < n_; ++u) {
+    for (int v : adj_[u]) {
+      if (v > u) g.add_edge(perm[static_cast<std::size_t>(u)], perm[static_cast<std::size_t>(v)]);
+    }
+  }
+  return g;
+}
+
+Graph Graph::disjoint_union(const Graph& other) const {
+  Graph g(n_ + other.n_);
+  for (const Edge& e : edges()) g.add_edge(e.u, e.v);
+  for (const Edge& e : other.edges()) g.add_edge(e.u + n_, e.v + n_);
+  return g;
+}
+
+int Graph::common_neighbor_count(int u, int v) const {
+  check_vertex(u);
+  check_vertex(v);
+  const auto& a = bits_[u];
+  const auto& b = bits_[v];
+  int count = 0;
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    count += __builtin_popcountll(a[w] & b[w]);
+  }
+  return count;
+}
+
+int Graph::max_degree() const {
+  int d = 0;
+  for (int v = 0; v < n_; ++v) d = std::max(d, degree(v));
+  return d;
+}
+
+std::string Graph::to_string() const {
+  std::ostringstream os;
+  os << "Graph(n=" << n_ << ", m=" << m_ << ")";
+  for (int v = 0; v < n_; ++v) {
+    if (adj_[v].empty()) continue;
+    os << "\n  " << v << ":";
+    for (int u : adj_[v]) os << ' ' << u;
+  }
+  return os.str();
+}
+
+}  // namespace cclique

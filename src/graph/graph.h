@@ -1,0 +1,116 @@
+// Undirected simple graph with O(1) adjacency queries.
+//
+// Graphs are the workload objects of the whole library: protocol inputs,
+// lower-bound gadgets, and extremal constructions. The representation keeps
+// both sorted adjacency lists (for iteration) and packed bitset rows (for
+// constant-time has_edge and fast triangle counting); sizes in this project
+// stay laptop-scale (n up to a few thousand), so the O(n^2/8) bitset memory
+// is cheap insurance for algorithmic clarity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cclique {
+
+/// An undirected edge; canonical form keeps u < v.
+struct Edge {
+  int u = 0;
+  int v = 0;
+  Edge() = default;
+  Edge(int a, int b) : u(a < b ? a : b), v(a < b ? b : a) {}
+  bool operator==(const Edge& o) const { return u == o.u && v == o.v; }
+  bool operator<(const Edge& o) const {
+    return u != o.u ? u < o.u : v < o.v;
+  }
+};
+
+/// Undirected simple graph on vertices {0, ..., n-1}.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates an edgeless graph with n vertices.
+  explicit Graph(int n);
+
+  /// Number of vertices.
+  int num_vertices() const { return n_; }
+
+  /// Number of edges.
+  std::size_t num_edges() const { return m_; }
+
+  /// Adds edge {u, v}. Self-loops are rejected; duplicate insertions are
+  /// idempotent. Returns true iff the edge was newly added.
+  bool add_edge(int u, int v);
+
+  /// Removes edge {u, v} if present. Returns true iff it was removed.
+  bool remove_edge(int u, int v);
+
+  /// O(1) adjacency query.
+  bool has_edge(int u, int v) const {
+    check_vertex(u);
+    check_vertex(v);
+    return u != v && (bits_[u][static_cast<std::size_t>(v) >> 6] >>
+                      (static_cast<std::size_t>(v) & 63)) & 1ULL;
+  }
+
+  /// Degree of v.
+  int degree(int v) const {
+    check_vertex(v);
+    return static_cast<int>(adj_[v].size());
+  }
+
+  /// Sorted neighbor list of v.
+  const std::vector<int>& neighbors(int v) const {
+    check_vertex(v);
+    return adj_[v];
+  }
+
+  /// All edges in canonical (u < v) order, lexicographically sorted.
+  std::vector<Edge> edges() const;
+
+  /// Subgraph induced by `vertices` (which must be distinct). Vertex i of
+  /// the result corresponds to vertices[i].
+  Graph induced_subgraph(const std::vector<int>& vertices) const;
+
+  /// Returns the graph with vertices renamed by `perm` (perm[v] is the new
+  /// name of v; must be a permutation of 0..n-1).
+  Graph relabeled(const std::vector<int>& perm) const;
+
+  /// Disjoint union: vertices of `other` are shifted by num_vertices().
+  Graph disjoint_union(const Graph& other) const;
+
+  /// Number of common neighbors of u and v (bitset intersection).
+  int common_neighbor_count(int u, int v) const;
+
+  /// Packed adjacency row of v (used by triangle-counting hot loops).
+  const std::vector<std::uint64_t>& adjacency_row(int v) const {
+    check_vertex(v);
+    return bits_[v];
+  }
+
+  /// Maximum degree.
+  int max_degree() const;
+
+  bool operator==(const Graph& other) const {
+    return n_ == other.n_ && bits_ == other.bits_;
+  }
+
+  /// Multi-line human-readable dump (for small graphs in test failures).
+  std::string to_string() const;
+
+ private:
+  void check_vertex(int v) const {
+    CC_REQUIRE(v >= 0 && v < n_, "vertex id out of range");
+  }
+
+  int n_ = 0;
+  std::size_t m_ = 0;
+  std::vector<std::vector<int>> adj_;            // sorted neighbor lists
+  std::vector<std::vector<std::uint64_t>> bits_; // packed adjacency rows
+};
+
+}  // namespace cclique

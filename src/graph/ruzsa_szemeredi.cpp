@@ -1,0 +1,140 @@
+#include "graph/ruzsa_szemeredi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cclique {
+
+namespace {
+
+// Behrend's construction: vectors in {0..d-1}^k, mapped to integers in base
+// 2d, restricted to a sphere |x|^2 = r. No three collinear points on a
+// sphere => no 3-AP (base 2d prevents carries in x + y).
+std::vector<std::uint64_t> behrend_shell(std::uint64_t m, int k, std::uint64_t d) {
+  std::vector<std::vector<std::uint64_t>> by_norm;  // norm -> values
+  std::vector<std::uint64_t> digits(static_cast<std::size_t>(k), 0);
+  const std::uint64_t base = 2 * d;
+  while (true) {
+    // Evaluate current digit vector.
+    std::uint64_t value = 0, norm = 0;
+    bool overflow = false;
+    std::uint64_t scale = 1;
+    for (int i = 0; i < k; ++i) {
+      value += digits[static_cast<std::size_t>(i)] * scale;
+      if (value >= m) {
+        overflow = true;
+        break;
+      }
+      norm += digits[static_cast<std::size_t>(i)] * digits[static_cast<std::size_t>(i)];
+      scale *= base;
+    }
+    if (!overflow) {
+      if (by_norm.size() <= norm) by_norm.resize(norm + 1);
+      by_norm[norm].push_back(value);
+    }
+    // Advance the digit odometer.
+    int pos = 0;
+    while (pos < k && digits[static_cast<std::size_t>(pos)] == d - 1) {
+      digits[static_cast<std::size_t>(pos)] = 0;
+      ++pos;
+    }
+    if (pos == k) break;
+    ++digits[static_cast<std::size_t>(pos)];
+  }
+  std::vector<std::uint64_t> best;
+  for (auto& shell : by_norm) {
+    if (shell.size() > best.size()) best = std::move(shell);
+  }
+  std::sort(best.begin(), best.end());
+  return best;
+}
+
+std::vector<std::uint64_t> greedy_ap_free(std::uint64_t m) {
+  std::vector<std::uint64_t> s;
+  std::vector<bool> in_set(m, false);
+  for (std::uint64_t x = 0; x < m; ++x) {
+    bool ok = true;
+    // x would close an AP (a, b, x) with b - a = x - b, i.e. a = 2b - x.
+    for (std::uint64_t b : s) {
+      if (2 * b >= x && 2 * b - x < m && 2 * b != 2 * x && in_set[2 * b - x] &&
+          2 * b - x != b) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      s.push_back(x);
+      in_set[x] = true;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> behrend_set(std::uint64_t m) {
+  CC_REQUIRE(m >= 1, "behrend_set needs m >= 1");
+  std::vector<std::uint64_t> best;
+  if (m <= 4096) {
+    best = greedy_ap_free(m);
+  }
+  // Try a spread of dimensions; k near sqrt(log m) is asymptotically best
+  // but small m favors small k.
+  const int max_k = std::max(1, static_cast<int>(std::sqrt(std::log(static_cast<double>(m) + 1.0)) * 2.0) + 2);
+  for (int k = 1; k <= max_k; ++k) {
+    // Largest d with (2d)^k <= m (so all digit vectors stay below m).
+    std::uint64_t d = static_cast<std::uint64_t>(
+        std::pow(static_cast<double>(m), 1.0 / k) / 2.0);
+    if (d < 1) continue;
+    auto shell = behrend_shell(m, k, d);
+    if (shell.size() > best.size()) best = std::move(shell);
+  }
+  CC_CHECK(is_progression_free(best), "Behrend construction produced a 3-AP");
+  return best;
+}
+
+bool is_progression_free(const std::vector<std::uint64_t>& s) {
+  std::vector<std::uint64_t> sorted = s;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    for (std::size_t j = i + 1; j < sorted.size(); ++j) {
+      // Is there z with sorted[i] + sorted[j] = 2z, z in the set, z distinct?
+      const std::uint64_t sum = sorted[i] + sorted[j];
+      if (sum % 2 != 0) continue;
+      if (std::binary_search(sorted.begin(), sorted.end(), sum / 2) &&
+          sum / 2 != sorted[i] && sum / 2 != sorted[j]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+RuzsaSzemerediGraph ruzsa_szemeredi_graph(int m) {
+  CC_REQUIRE(m >= 1, "RS graph needs m >= 1");
+  const auto s = behrend_set(static_cast<std::uint64_t>(m));
+  RuzsaSzemerediGraph out;
+  out.m = m;
+  // X = [0, m), Y = [m, 3m) (offset m), Z = [3m, 6m) (offset 3m).
+  const int yo = m;
+  const int zo = 3 * m;
+  out.graph = Graph(6 * m);
+  for (int x = 0; x < m; ++x) {
+    for (std::uint64_t su : s) {
+      const int sv = static_cast<int>(su);
+      const int y = x + sv;        // in [0, 2m)
+      const int z = x + 2 * sv;    // in [0, 3m)
+      out.graph.add_edge(x, yo + y);
+      out.graph.add_edge(yo + y, zo + z);
+      out.graph.add_edge(x, zo + z);
+      int a = x, b = yo + y, c = zo + z;
+      // Canonical triangle with sorted vertices (X < Y < Z offsets ensure order).
+      out.triangles.push_back(Triangle{a, b, c});
+    }
+  }
+  return out;
+}
+
+}  // namespace cclique

@@ -1,0 +1,42 @@
+// Ruzsa–Szemerédi graphs: tripartite graphs in which every edge lies in
+// exactly one triangle, with n^2 / e^{O(sqrt(log n))} triangles (Claim 23).
+//
+// These are the gadget family behind the Theorem 24 reduction from 3-party
+// number-on-forehead set disjointness to triangle detection: each
+// edge-disjoint triangle carries one element of the disjointness instance.
+// The construction is the classical one from progression-free sets: take a
+// 3-AP-free S ⊆ [m] (Behrend's construction) and form the tripartite graph
+// on X = [m], Y = [2m], Z = [3m] whose canonical triangles are
+// (x, x+s, x+2s) for x in X, s in S.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/subgraph.h"
+
+namespace cclique {
+
+/// A 3-term-arithmetic-progression-free subset of {0, ..., m-1}.
+/// Uses Behrend's sphere construction (digits in base 2d with fixed
+/// Euclidean norm), taking the best shell; falls back to a greedy first-fit
+/// set for tiny m. The result is sorted.
+std::vector<std::uint64_t> behrend_set(std::uint64_t m);
+
+/// Exhaustively verifies that S is 3-AP-free: no x + y = 2z with x != y.
+bool is_progression_free(const std::vector<std::uint64_t>& s);
+
+/// A Ruzsa–Szemerédi tripartite graph built from parameter m.
+struct RuzsaSzemerediGraph {
+  Graph graph;                 ///< 6m vertices: X = [0,m), Y = [m,3m), Z = [3m,6m)
+  int m = 0;                   ///< part-size parameter
+  std::vector<Triangle> triangles;  ///< the canonical edge-disjoint triangles
+};
+
+/// Builds the RS graph for parameter m >= 1. Guarantees (tested exactly):
+/// every edge lies in exactly one triangle, and the triangles listed are all
+/// triangles of the graph; their number is m * |behrend_set(m)|.
+RuzsaSzemerediGraph ruzsa_szemeredi_graph(int m);
+
+}  // namespace cclique

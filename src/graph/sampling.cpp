@@ -1,0 +1,40 @@
+#include "graph/sampling.h"
+
+#include "util/math_util.h"
+
+namespace cclique {
+
+std::vector<std::uint64_t> draw_sampling_values(int n, Rng& rng) {
+  CC_REQUIRE(n >= 1, "need at least one node");
+  const std::uint64_t big_n = 1ULL << floor_log2(static_cast<std::uint64_t>(n));
+  std::vector<std::uint64_t> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform(big_n);
+  return x;
+}
+
+Graph mod_sampled_subgraph(const Graph& g, const std::vector<std::uint64_t>& x,
+                           int j) {
+  CC_REQUIRE(static_cast<int>(x.size()) == g.num_vertices(),
+             "one sampling value per vertex required");
+  CC_REQUIRE(j >= 0 && j < 64, "level out of range");
+  Graph out(g.num_vertices());
+  const std::uint64_t mask = (j == 0) ? 0 : ((1ULL << j) - 1);
+  for (const Edge& e : g.edges()) {
+    if ((x[static_cast<std::size_t>(e.u)] & mask) ==
+        (x[static_cast<std::size_t>(e.v)] & mask)) {
+      out.add_edge(e.u, e.v);
+    }
+  }
+  return out;
+}
+
+std::vector<Graph> mod_sampled_hierarchy(const Graph& g,
+                                         const std::vector<std::uint64_t>& x) {
+  const int l = floor_log2(static_cast<std::uint64_t>(std::max(1, g.num_vertices())));
+  std::vector<Graph> levels;
+  levels.reserve(static_cast<std::size_t>(l) + 1);
+  for (int j = 0; j <= l; ++j) levels.push_back(mod_sampled_subgraph(g, x, j));
+  return levels;
+}
+
+}  // namespace cclique

@@ -1,0 +1,32 @@
+// The non-uniform edge sampling of Section 3.1 (Lemma 8).
+//
+// Independently sampling each edge with probability p cannot be communicated
+// in o(m) bits, so the paper samples via per-*node* random values: each node
+// v draws X_v uniformly from [0, N) (N = largest power of two <= n) and edge
+// {u, v} survives into level j iff X_u = X_v (mod 2^j). Broadcasting the
+// X_v's (O(log n) bits each) lets every node learn the entire sampled
+// hierarchy G_0 ⊇ G_1 ⊇ ... ⊇ G_l.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace cclique {
+
+/// Draws the per-node sampling values X_v, uniform on [0, N) where N is the
+/// largest power of two not exceeding n (N = 2^{floor(log2 n)}).
+std::vector<std::uint64_t> draw_sampling_values(int n, Rng& rng);
+
+/// Level-j sampled subgraph: keeps edge {u,v} iff X_u ≡ X_v (mod 2^j).
+/// j = 0 returns G itself.
+Graph mod_sampled_subgraph(const Graph& g, const std::vector<std::uint64_t>& x,
+                           int j);
+
+/// All levels G_0, ..., G_l with l = floor(log2 n).
+std::vector<Graph> mod_sampled_hierarchy(const Graph& g,
+                                         const std::vector<std::uint64_t>& x);
+
+}  // namespace cclique

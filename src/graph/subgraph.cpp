@@ -1,0 +1,251 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/generators.h"
+
+namespace cclique {
+
+std::uint64_t count_triangles(const Graph& g) {
+  std::uint64_t total = 0;
+  for (const Edge& e : g.edges()) {
+    const auto& a = g.adjacency_row(e.u);
+    const auto& b = g.adjacency_row(e.v);
+    // Count common neighbors w > v to count each triangle once.
+    for (std::size_t w = 0; w < a.size(); ++w) {
+      std::uint64_t inter = a[w] & b[w];
+      if (inter == 0) continue;
+      for (int bit = 0; bit < 64; ++bit) {
+        if ((inter >> bit) & 1ULL) {
+          int vtx = static_cast<int>(w * 64 + static_cast<std::size_t>(bit));
+          if (vtx > e.v) ++total;
+        }
+      }
+    }
+  }
+  return total;
+}
+
+std::vector<Triangle> list_triangles(const Graph& g) {
+  std::vector<Triangle> out;
+  for (const Edge& e : g.edges()) {
+    const auto& a = g.adjacency_row(e.u);
+    const auto& b = g.adjacency_row(e.v);
+    for (std::size_t w = 0; w < a.size(); ++w) {
+      std::uint64_t inter = a[w] & b[w];
+      while (inter != 0) {
+        int bit = __builtin_ctzll(inter);
+        inter &= inter - 1;
+        int vtx = static_cast<int>(w * 64 + static_cast<std::size_t>(bit));
+        if (vtx > e.v) out.push_back(Triangle{e.u, e.v, vtx});
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Recursive clique extension over a candidate set.
+bool extend_clique(const Graph& g, std::vector<int>& clique,
+                   const std::vector<int>& candidates, int k) {
+  if (static_cast<int>(clique.size()) == k) return true;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    int v = candidates[i];
+    std::vector<int> next;
+    for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+      if (g.has_edge(v, candidates[j])) next.push_back(candidates[j]);
+    }
+    if (static_cast<int>(clique.size()) + 1 +
+            static_cast<int>(next.size()) < k) {
+      continue;  // not enough candidates left
+    }
+    clique.push_back(v);
+    if (extend_clique(g, clique, next, k)) return true;
+    clique.pop_back();
+  }
+  return false;
+}
+
+// Order pattern vertices so each (after the first of its component) has a
+// neighbor earlier in the order; this keeps the backtracking anchored.
+std::vector<int> pattern_order(const Graph& h) {
+  const int hn = h.num_vertices();
+  std::vector<int> order;
+  std::vector<bool> placed(static_cast<std::size_t>(hn), false);
+  while (static_cast<int>(order.size()) < hn) {
+    // Pick the unplaced vertex with most placed neighbors (ties: max degree).
+    int best = -1, best_conn = -1, best_deg = -1;
+    for (int v = 0; v < hn; ++v) {
+      if (placed[static_cast<std::size_t>(v)]) continue;
+      int conn = 0;
+      for (int u : h.neighbors(v)) {
+        if (placed[static_cast<std::size_t>(u)]) ++conn;
+      }
+      if (conn > best_conn || (conn == best_conn && h.degree(v) > best_deg)) {
+        best = v;
+        best_conn = conn;
+        best_deg = h.degree(v);
+      }
+    }
+    placed[static_cast<std::size_t>(best)] = true;
+    order.push_back(best);
+  }
+  return order;
+}
+
+// Backtracking embedding search; if count_all, counts every embedding,
+// otherwise stops at the first and records it in `embedding`.
+std::uint64_t embed(const Graph& g, const Graph& h,
+                    const std::vector<int>& order, std::size_t depth,
+                    std::vector<int>& assignment, std::vector<bool>& used,
+                    bool count_all, std::vector<int>* embedding) {
+  if (depth == order.size()) {
+    if (!count_all && embedding != nullptr) *embedding = assignment;
+    return 1;
+  }
+  const int hv = order[depth];
+  std::uint64_t found = 0;
+  for (int gv = 0; gv < g.num_vertices(); ++gv) {
+    if (used[static_cast<std::size_t>(gv)]) continue;
+    if (g.degree(gv) < h.degree(hv)) continue;
+    bool ok = true;
+    for (int hu : h.neighbors(hv)) {
+      int mapped = assignment[static_cast<std::size_t>(hu)];
+      if (mapped >= 0 && !g.has_edge(gv, mapped)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    assignment[static_cast<std::size_t>(hv)] = gv;
+    used[static_cast<std::size_t>(gv)] = true;
+    found += embed(g, h, order, depth + 1, assignment, used, count_all, embedding);
+    used[static_cast<std::size_t>(gv)] = false;
+    assignment[static_cast<std::size_t>(hv)] = -1;
+    if (found > 0 && !count_all) return found;
+  }
+  return found;
+}
+
+}  // namespace
+
+bool contains_clique(const Graph& g, int k) {
+  CC_REQUIRE(k >= 1, "clique size must be positive");
+  if (k == 1) return g.num_vertices() >= 1;
+  if (k == 2) return g.num_edges() >= 1;
+  std::vector<int> all(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(all.begin(), all.end(), 0);
+  std::vector<int> clique;
+  return extend_clique(g, clique, all, k);
+}
+
+bool contains_subgraph(const Graph& g, const Graph& h) {
+  return find_subgraph(g, h).has_value();
+}
+
+std::optional<std::vector<int>> find_subgraph(const Graph& g, const Graph& h) {
+  if (h.num_vertices() > g.num_vertices()) return std::nullopt;
+  if (h.num_vertices() == 0) return std::vector<int>{};
+  auto order = pattern_order(h);
+  std::vector<int> assignment(static_cast<std::size_t>(h.num_vertices()), -1);
+  std::vector<bool> used(static_cast<std::size_t>(g.num_vertices()), false);
+  std::vector<int> embedding;
+  if (embed(g, h, order, 0, assignment, used, /*count_all=*/false, &embedding) > 0) {
+    return embedding;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t count_subgraph_embeddings(const Graph& g, const Graph& h) {
+  if (h.num_vertices() > g.num_vertices()) return 0;
+  if (h.num_vertices() == 0) return 1;
+  auto order = pattern_order(h);
+  std::vector<int> assignment(static_cast<std::size_t>(h.num_vertices()), -1);
+  std::vector<bool> used(static_cast<std::size_t>(g.num_vertices()), false);
+  return embed(g, h, order, 0, assignment, used, /*count_all=*/true, nullptr);
+}
+
+namespace {
+
+// Visitor-driven variant of embed(); returns false to stop enumeration.
+bool embed_visit(const Graph& g, const Graph& h, const std::vector<int>& order,
+                 std::size_t depth, std::vector<int>& assignment,
+                 std::vector<bool>& used,
+                 const std::function<bool(const std::vector<int>&)>& visitor) {
+  if (depth == order.size()) return visitor(assignment);
+  const int hv = order[depth];
+  for (int gv = 0; gv < g.num_vertices(); ++gv) {
+    if (used[static_cast<std::size_t>(gv)]) continue;
+    if (g.degree(gv) < h.degree(hv)) continue;
+    bool ok = true;
+    for (int hu : h.neighbors(hv)) {
+      int mapped = assignment[static_cast<std::size_t>(hu)];
+      if (mapped >= 0 && !g.has_edge(gv, mapped)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    assignment[static_cast<std::size_t>(hv)] = gv;
+    used[static_cast<std::size_t>(gv)] = true;
+    const bool keep_going = embed_visit(g, h, order, depth + 1, assignment, used, visitor);
+    used[static_cast<std::size_t>(gv)] = false;
+    assignment[static_cast<std::size_t>(hv)] = -1;
+    if (!keep_going) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void for_each_embedding(const Graph& g, const Graph& h,
+                        const std::function<bool(const std::vector<int>&)>& visitor) {
+  if (h.num_vertices() > g.num_vertices()) return;
+  if (h.num_vertices() == 0) {
+    visitor({});
+    return;
+  }
+  auto order = pattern_order(h);
+  std::vector<int> assignment(static_cast<std::size_t>(h.num_vertices()), -1);
+  std::vector<bool> used(static_cast<std::size_t>(g.num_vertices()), false);
+  embed_visit(g, h, order, 0, assignment, used, visitor);
+}
+
+bool contains_cycle(const Graph& g, int len) {
+  CC_REQUIRE(len >= 3, "cycles have length >= 3");
+  return contains_subgraph(g, cycle_graph(len));
+}
+
+int girth(const Graph& g) {
+  const int n = g.num_vertices();
+  int best = -1;
+  std::vector<int> dist(static_cast<std::size_t>(n));
+  std::vector<int> parent(static_cast<std::size_t>(n));
+  std::vector<int> queue;
+  for (int s = 0; s < n; ++s) {
+    std::fill(dist.begin(), dist.end(), -1);
+    std::fill(parent.begin(), parent.end(), -1);
+    queue.clear();
+    queue.push_back(s);
+    dist[static_cast<std::size_t>(s)] = 0;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      int v = queue[head];
+      for (int u : g.neighbors(v)) {
+        if (dist[static_cast<std::size_t>(u)] < 0) {
+          dist[static_cast<std::size_t>(u)] = dist[static_cast<std::size_t>(v)] + 1;
+          parent[static_cast<std::size_t>(u)] = v;
+          queue.push_back(u);
+        } else if (u != parent[static_cast<std::size_t>(v)]) {
+          // Non-tree edge closes a cycle through the BFS root region.
+          int cyc = dist[static_cast<std::size_t>(v)] + dist[static_cast<std::size_t>(u)] + 1;
+          if (best < 0 || cyc < best) best = cyc;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace cclique

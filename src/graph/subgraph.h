@@ -1,0 +1,66 @@
+// Exact subgraph containment: ground truth for every detection protocol.
+//
+// All pattern graphs H in the paper are of fixed (constant) size, so a
+// backtracking search with degree pruning is exact and fast enough to serve
+// as the reference oracle in tests and benches. Specialized routines cover
+// the hot cases (triangles, cliques).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cclique {
+
+/// A triangle as an ordered vertex triple (a < b < c).
+struct Triangle {
+  int a = 0, b = 0, c = 0;
+  bool operator==(const Triangle& o) const {
+    return a == o.a && b == o.b && c == o.c;
+  }
+  bool operator<(const Triangle& o) const {
+    if (a != o.a) return a < o.a;
+    if (b != o.b) return b < o.b;
+    return c < o.c;
+  }
+};
+
+/// Exact triangle count via bitset intersections, O(m * n / 64).
+std::uint64_t count_triangles(const Graph& g);
+
+/// Lists all triangles (a < b < c).
+std::vector<Triangle> list_triangles(const Graph& g);
+
+/// True iff g contains K_k as a subgraph.
+bool contains_clique(const Graph& g, int k);
+
+/// Generic subgraph-containment test: does g contain a (not necessarily
+/// induced) copy of pattern h? Exponential in |V(h)| only.
+bool contains_subgraph(const Graph& g, const Graph& h);
+
+/// Like contains_subgraph, but returns the embedding: result[i] is the
+/// g-vertex hosting h-vertex i. nullopt if no copy exists.
+std::optional<std::vector<int>> find_subgraph(const Graph& g, const Graph& h);
+
+/// Counts (labelled) embeddings of h into g, i.e. the number of injective
+/// maps V(h) -> V(g) preserving edges. Useful for density assertions in
+/// lower-bound gadget tests. Beware: grows like n^{|V(h)|}.
+std::uint64_t count_subgraph_embeddings(const Graph& g, const Graph& h);
+
+/// Calls `visitor` with every embedding of h into g (assignment[i] = host of
+/// h-vertex i). Enumeration stops early when the visitor returns false.
+/// Visits labelled embeddings (automorphic images visited separately).
+void for_each_embedding(const Graph& g, const Graph& h,
+                        const std::function<bool(const std::vector<int>&)>& visitor);
+
+/// True iff g contains a cycle of length exactly `len` (len >= 3).
+bool contains_cycle(const Graph& g, int len);
+
+/// Girth of g (length of its shortest cycle), or -1 if acyclic. BFS from
+/// every vertex: O(n * m).
+int girth(const Graph& g);
+
+}  // namespace cclique

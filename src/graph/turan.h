@@ -1,0 +1,48 @@
+// Turán numbers ex(n, H) and the degeneracy bound of Claim 6.
+//
+// The broadcast-clique upper bounds (Theorems 7 and 9) consume ex(n, H) as a
+// parameter: an H-free graph has degeneracy at most 4*ex(n,H)/n (Claim 6),
+// which is exactly the sketch size the Becker-et-al. protocol needs. For
+// most bipartite H the exact Turán number is open, so this module exposes
+// *upper bounds* from the classical extremal-graph-theory toolbox (Turán,
+// Kővári–Sós–Turán, Bondy–Simonovits, Reiman); an upper bound on ex is all
+// the algorithmic side ever needs.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace cclique {
+
+/// A Turán-number upper bound along with whether it is exact.
+struct TuranBound {
+  double value = 0.0;
+  bool exact = false;
+  /// Human-readable provenance ("Turán's theorem", "Kővári–Sós–Turán", ...).
+  const char* source = "";
+};
+
+/// Chromatic number of a small graph (exhaustive; |V(h)| <= ~16).
+int chromatic_number(const Graph& h);
+
+/// If h is bipartite, returns true and fills the side sizes (a <= b) of some
+/// proper 2-coloring; otherwise returns false.
+bool bipartition_sizes(const Graph& h, int* a, int* b);
+
+/// Upper bound on ex(n, H) for an arbitrary fixed pattern H:
+///   - chi(H) >= 3: Turán bound (1 - 1/(chi-1)) n^2 / 2 (exact for cliques,
+///     asymptotically exact in general by Erdős–Stone);
+///   - H a forest with k edges: (k-1) n (every graph with more edges has a
+///     subgraph of min degree >= k, which contains every k-edge tree);
+///   - H = C4: Reiman bound (1 + sqrt(4n-3)) n / 4;
+///   - H an even cycle C_{2l}: Bondy–Simonovits-style c * n^{1 + 1/l};
+///   - other bipartite H with bipartition (r, s), r <= s: Kővári–Sós–Turán
+///     0.5 ((s-1)^{1/r} (n - r + 1) n^{1 - 1/r} + (r - 1) n).
+TuranBound turan_upper_bound(std::uint64_t n, const Graph& h);
+
+/// Claim 6: an H-free n-vertex graph has degeneracy <= 4 ex(n,H)/n. Returns
+/// that cap (rounded down, at least 1) computed from turan_upper_bound.
+int degeneracy_cap_if_h_free(std::uint64_t n, const Graph& h);
+
+}  // namespace cclique

@@ -1,0 +1,173 @@
+#include "linalg/f2matrix.h"
+
+#include <algorithm>
+
+namespace cclique {
+
+F2Matrix::F2Matrix(int n) : n_(n) {
+  CC_REQUIRE(n >= 0, "matrix size must be non-negative");
+  rows_.assign(static_cast<std::size_t>(n),
+               std::vector<std::uint64_t>((static_cast<std::size_t>(n) + 63) / 64, 0));
+}
+
+F2Matrix F2Matrix::operator+(const F2Matrix& o) const {
+  CC_REQUIRE(n_ == o.n_, "size mismatch");
+  F2Matrix out(n_);
+  for (int i = 0; i < n_; ++i) {
+    for (std::size_t w = 0; w < rows_[static_cast<std::size_t>(i)].size(); ++w) {
+      out.rows_[static_cast<std::size_t>(i)][w] =
+          rows_[static_cast<std::size_t>(i)][w] ^ o.rows_[static_cast<std::size_t>(i)][w];
+    }
+  }
+  return out;
+}
+
+F2Matrix F2Matrix::identity(int n) {
+  F2Matrix m(n);
+  for (int i = 0; i < n; ++i) m.set(i, i, true);
+  return m;
+}
+
+F2Matrix F2Matrix::random(int n, Rng& rng) {
+  F2Matrix m(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) m.set(i, j, rng.coin());
+  }
+  return m;
+}
+
+F2Matrix F2Matrix::adjacency(const Graph& g) {
+  F2Matrix m(g.num_vertices());
+  for (const Edge& e : g.edges()) {
+    m.set(e.u, e.v, true);
+    m.set(e.v, e.u, true);
+  }
+  return m;
+}
+
+F2Matrix f2_multiply_naive(const F2Matrix& a, const F2Matrix& b) {
+  CC_REQUIRE(a.n() == b.n(), "size mismatch");
+  const int n = a.n();
+  F2Matrix out(n);
+  // Row-times-matrix with word-level XOR accumulate: for each 1-bit a_ik,
+  // XOR row k of B into row i of the output.
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::uint64_t> acc((static_cast<std::size_t>(n) + 63) / 64, 0);
+    for (int k = 0; k < n; ++k) {
+      if (!a.get(i, k)) continue;
+      const auto& bk = b.row(k);
+      for (std::size_t w = 0; w < acc.size(); ++w) acc[w] ^= bk[w];
+    }
+    for (int j = 0; j < n; ++j) {
+      out.set(i, j, (acc[static_cast<std::size_t>(j) >> 6] >> (static_cast<std::size_t>(j) & 63)) & 1ULL);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+F2Matrix sub_block(const F2Matrix& m, int r0, int c0, int size) {
+  F2Matrix out(size);
+  for (int i = 0; i < size; ++i) {
+    for (int j = 0; j < size; ++j) out.set(i, j, m.get(r0 + i, c0 + j));
+  }
+  return out;
+}
+
+void put_block(F2Matrix& m, const F2Matrix& blk, int r0, int c0) {
+  for (int i = 0; i < blk.n(); ++i) {
+    for (int j = 0; j < blk.n(); ++j) m.set(r0 + i, c0 + j, blk.get(i, j));
+  }
+}
+
+F2Matrix strassen_rec(const F2Matrix& a, const F2Matrix& b, int cutoff) {
+  const int n = a.n();
+  if (n <= cutoff || n % 2 != 0) return f2_multiply_naive(a, b);
+  const int h = n / 2;
+  const F2Matrix a11 = sub_block(a, 0, 0, h), a12 = sub_block(a, 0, h, h);
+  const F2Matrix a21 = sub_block(a, h, 0, h), a22 = sub_block(a, h, h, h);
+  const F2Matrix b11 = sub_block(b, 0, 0, h), b12 = sub_block(b, 0, h, h);
+  const F2Matrix b21 = sub_block(b, h, 0, h), b22 = sub_block(b, h, h, h);
+
+  const F2Matrix m1 = strassen_rec(a11 + a22, b11 + b22, cutoff);
+  const F2Matrix m2 = strassen_rec(a21 + a22, b11, cutoff);
+  const F2Matrix m3 = strassen_rec(a11, b12 + b22, cutoff);
+  const F2Matrix m4 = strassen_rec(a22, b21 + b11, cutoff);
+  const F2Matrix m5 = strassen_rec(a11 + a12, b22, cutoff);
+  const F2Matrix m6 = strassen_rec(a21 + a11, b11 + b12, cutoff);
+  const F2Matrix m7 = strassen_rec(a12 + a22, b21 + b22, cutoff);
+
+  F2Matrix out(n);
+  put_block(out, m1 + m4 + m5 + m7, 0, 0);
+  put_block(out, m3 + m5, 0, h);
+  put_block(out, m2 + m4, h, 0);
+  put_block(out, m1 + m2 + m3 + m6, h, h);
+  return out;
+}
+
+}  // namespace
+
+F2Matrix f2_multiply_strassen(const F2Matrix& a, const F2Matrix& b, int cutoff) {
+  CC_REQUIRE(a.n() == b.n(), "size mismatch");
+  CC_REQUIRE(cutoff >= 1, "cutoff must be >= 1");
+  int target = 1;
+  while (target < a.n()) target *= 2;
+  if (target == a.n()) return strassen_rec(a, b, cutoff);
+  F2Matrix pa(target), pb(target);
+  put_block(pa, a, 0, 0);
+  put_block(pb, b, 0, 0);
+  const F2Matrix full = strassen_rec(pa, pb, cutoff);
+  return sub_block(full, 0, 0, a.n());
+}
+
+F2Matrix bool_multiply(const F2Matrix& a, const F2Matrix& b) {
+  CC_REQUIRE(a.n() == b.n(), "size mismatch");
+  const int n = a.n();
+  F2Matrix out(n);
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::uint64_t> acc((static_cast<std::size_t>(n) + 63) / 64, 0);
+    for (int k = 0; k < n; ++k) {
+      if (!a.get(i, k)) continue;
+      const auto& bk = b.row(k);
+      for (std::size_t w = 0; w < acc.size(); ++w) acc[w] |= bk[w];
+    }
+    for (int j = 0; j < n; ++j) {
+      out.set(i, j, (acc[static_cast<std::size_t>(j) >> 6] >> (static_cast<std::size_t>(j) & 63)) & 1ULL);
+    }
+  }
+  return out;
+}
+
+F2Matrix bool_multiply_via_f2(const F2Matrix& a, const F2Matrix& b, int reps, Rng& rng) {
+  CC_REQUIRE(reps >= 1, "need at least one repetition");
+  const int n = a.n();
+  F2Matrix out(n);
+  for (int rep = 0; rep < reps; ++rep) {
+    // Mask the inner dimension: (A R B)_ij = sum_k a_ik r_k b_kj over F2 —
+    // zero when the Boolean entry is 0, uniform when it has >= 1 witness.
+    F2Matrix ar = a;
+    for (int k = 0; k < n; ++k) {
+      if (rng.coin()) continue;  // keep column k
+      for (int i = 0; i < n; ++i) ar.set(i, k, false);
+    }
+    const F2Matrix prod = f2_multiply_naive(ar, b);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (prod.get(i, j)) out.set(i, j, true);
+      }
+    }
+  }
+  return out;
+}
+
+bool has_triangle_via_mm(const F2Matrix& a) {
+  const F2Matrix a2 = bool_multiply(a, a);
+  const F2Matrix a3 = bool_multiply(a2, a);
+  for (int i = 0; i < a.n(); ++i) {
+    if (a3.get(i, i)) return true;
+  }
+  return false;
+}
+
+}  // namespace cclique

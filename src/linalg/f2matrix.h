@@ -1,0 +1,91 @@
+// Bit-packed matrices over GF(2) and over the Boolean semiring.
+//
+// Section 2.1 rests on the classical chain: triangles are nonzero diagonal
+// entries of A^3 over the Boolean semiring; Boolean products randomly reduce
+// to F2 products (Shamir's reduction, [45] Thm 4.1); and F2 products have
+// subcubic circuits. This module is the *numeric* side of that chain —
+// reference implementations the circuit constructions and protocols are
+// tested against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace cclique {
+
+/// Dense n x n matrix over GF(2), rows packed into 64-bit words.
+class F2Matrix {
+ public:
+  F2Matrix() = default;
+  explicit F2Matrix(int n);
+
+  int n() const { return n_; }
+
+  bool get(int i, int j) const {
+    check(i, j);
+    return (rows_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j) >> 6] >>
+            (static_cast<std::size_t>(j) & 63)) & 1ULL;
+  }
+
+  void set(int i, int j, bool v) {
+    check(i, j);
+    const std::uint64_t mask = 1ULL << (static_cast<std::size_t>(j) & 63);
+    if (v) {
+      rows_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j) >> 6] |= mask;
+    } else {
+      rows_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j) >> 6] &= ~mask;
+    }
+  }
+
+  bool operator==(const F2Matrix& o) const { return n_ == o.n_ && rows_ == o.rows_; }
+
+  /// A XOR B.
+  F2Matrix operator+(const F2Matrix& o) const;
+
+  /// Identity matrix.
+  static F2Matrix identity(int n);
+
+  /// Uniformly random matrix.
+  static F2Matrix random(int n, Rng& rng);
+
+  /// Adjacency matrix of a graph (zero diagonal, symmetric).
+  static F2Matrix adjacency(const Graph& g);
+
+  const std::vector<std::uint64_t>& row(int i) const {
+    CC_REQUIRE(i >= 0 && i < n_, "row out of range");
+    return rows_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  void check(int i, int j) const {
+    CC_REQUIRE(i >= 0 && i < n_ && j >= 0 && j < n_, "index out of range");
+  }
+  int n_ = 0;
+  std::vector<std::vector<std::uint64_t>> rows_;
+};
+
+/// Schoolbook product over GF(2) (word-parallel: O(n^3 / 64)).
+F2Matrix f2_multiply_naive(const F2Matrix& a, const F2Matrix& b);
+
+/// Strassen product over GF(2) (recursion cutoff in rows; pads to powers of
+/// two). Exercises the same recursion as the circuit generator.
+F2Matrix f2_multiply_strassen(const F2Matrix& a, const F2Matrix& b, int cutoff = 64);
+
+/// Exact Boolean-semiring product: c_ij = OR_k (a_ik AND b_kj).
+F2Matrix bool_multiply(const F2Matrix& a, const F2Matrix& b);
+
+/// Shamir's randomized reduction of the Boolean product to F2 products:
+/// runs `reps` trials of diag-masked F2 products and ORs the results. Every
+/// 1-entry of the result is a true 1 of the Boolean product (one-sided);
+/// each true 1 is missed with probability 2^-reps.
+F2Matrix bool_multiply_via_f2(const F2Matrix& a, const F2Matrix& b, int reps, Rng& rng);
+
+/// True iff the graph with adjacency matrix `a` (symmetric, zero diagonal)
+/// contains a triangle: checks diag(A^3) over the Boolean semiring.
+bool has_triangle_via_mm(const F2Matrix& a);
+
+}  // namespace cclique

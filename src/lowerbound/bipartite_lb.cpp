@@ -1,0 +1,91 @@
+#include "lowerbound/bipartite_lb.h"
+
+#include "graph/extremal.h"
+#include "graph/generators.h"
+#include "graph/turan.h"
+
+namespace cclique {
+
+LowerBoundGraph bipartite_lower_bound_graph(int l, int m, int N) {
+  CC_REQUIRE(l >= 2 && m >= 2, "K_{l,m} lower bound needs l, m >= 2");
+  // Machine-checked gap in Lemma 21 for l != m (w.l.o.g. m > l): the side
+  // sets of a K_{l,m}-subgraph may mix hub nodes, and
+  //   P = {u_i} ∪ (l-1 nodes of W_R),
+  //   Q = (m-l+1 input A-neighbors of i) ∪ {v_i} ∪ W_L
+  // is a complete bipartite K_{l,m} built from fixed edges plus *one*
+  // player's input whenever vertex i has input degree >= m-l+1 — breaking
+  // Observation 11 (the paper's "no mixing between W_L, W_R" step needs
+  // induced containment, but detection is non-induced). The symmetric
+  // construction l = m has no such parasite (verified exhaustively in
+  // lowerbound_test), so we expose that regime, which carries the full
+  // Theorem 22 bound (K_{2,2} = C4 in particular).
+  CC_REQUIRE(l == m, "supported shapes: l == m (see header note on the "
+                     "Lemma 21 asymmetric-case gap)");
+  CC_REQUIRE(N >= 2, "need N >= 2");
+  LowerBoundGraph lbg;
+  lbg.h = complete_bipartite(l, m);
+  lbg.f = bipartite_c4_free_graph(N);
+
+  // 2-color F to find L and R (isolated padding vertices go to L; they
+  // carry no edges so the choice is immaterial).
+  std::vector<int> color(static_cast<std::size_t>(N), -1);
+  for (int s = 0; s < N; ++s) {
+    if (color[static_cast<std::size_t>(s)] != -1) continue;
+    color[static_cast<std::size_t>(s)] = 0;
+    std::vector<int> queue{s};
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const int v = queue[head];
+      for (int u : lbg.f.neighbors(v)) {
+        if (color[static_cast<std::size_t>(u)] == -1) {
+          color[static_cast<std::size_t>(u)] = 1 - color[static_cast<std::size_t>(v)];
+          queue.push_back(u);
+        }
+        CC_CHECK(color[static_cast<std::size_t>(u)] != color[static_cast<std::size_t>(v)],
+                 "carrier must be bipartite");
+      }
+    }
+  }
+
+  const int ua = 0, vb = N;
+  const int wl0 = 2 * N;             // W_L: l-2 nodes
+  const int wr0 = 2 * N + (l - 2);   // W_R: m-2 nodes
+  const int n = 2 * N + l + m - 4;
+  Graph gp(n);
+
+  // Carrier copies (template).
+  for (const Edge& e : lbg.f.edges()) {
+    gp.add_edge(ua + e.u, ua + e.v);
+    gp.add_edge(vb + e.u, vb + e.v);
+  }
+  // Fixed matching {u_i, v_i}.
+  for (int i = 0; i < N; ++i) gp.add_edge(ua + i, vb + i);
+  // Hub wiring: W_L ~ phi_A(R) ∪ phi_B(L) ∪ W_R; W_R ~ phi_A(L) ∪ phi_B(R) ∪ W_L.
+  for (int w = wl0; w < wr0; ++w) {
+    for (int i = 0; i < N; ++i) {
+      if (color[static_cast<std::size_t>(i)] == 1) gp.add_edge(w, ua + i);  // phi_A(R)
+      if (color[static_cast<std::size_t>(i)] == 0) gp.add_edge(w, vb + i);  // phi_B(L)
+    }
+    for (int w2 = wr0; w2 < n; ++w2) gp.add_edge(w, w2);
+  }
+  for (int w = wr0; w < n; ++w) {
+    for (int i = 0; i < N; ++i) {
+      if (color[static_cast<std::size_t>(i)] == 0) gp.add_edge(w, ua + i);  // phi_A(L)
+      if (color[static_cast<std::size_t>(i)] == 1) gp.add_edge(w, vb + i);  // phi_B(R)
+    }
+  }
+  lbg.g_prime = std::move(gp);
+
+  lbg.phi_a.resize(static_cast<std::size_t>(N));
+  lbg.phi_b.resize(static_cast<std::size_t>(N));
+  for (int i = 0; i < N; ++i) {
+    lbg.phi_a[static_cast<std::size_t>(i)] = ua + i;
+    lbg.phi_b[static_cast<std::size_t>(i)] = vb + i;
+  }
+  lbg.side.assign(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < N; ++i) lbg.side[static_cast<std::size_t>(vb + i)] = 1;
+  // Hubs split between the players.
+  for (int w = wl0; w < n; ++w) lbg.side[static_cast<std::size_t>(w)] = (w - wl0) % 2;
+  return lbg;
+}
+
+}  // namespace cclique

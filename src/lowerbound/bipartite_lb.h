@@ -1,0 +1,21 @@
+// Lemma 21 / Theorem 22: K_{l,m} detection needs Ω(sqrt(n)/b) rounds.
+//
+// Carrier F: a *bipartite* C4-free graph on N vertices with Θ(N^{3/2})
+// edges (Observation 20 + the PG(2,q) incidence graph). Template: copies
+// F_A on {u_i}, F_B on {v_i}, the fixed matching {u_i, v_i}, and fixed hub
+// sets W_L (l-2 nodes, adjacent to phi_A(R) ∪ phi_B(L) ∪ W_R) and W_R
+// (m-2 nodes, adjacent to phi_A(L) ∪ phi_B(R) ∪ W_L). An F-edge {i,j}
+// present on both sides yields K_{l,m} with parts W_L ∪ {u_i, v_j} and
+// W_R ∪ {u_j, v_i}; C4-freeness of F blocks every other K_{2,2} core.
+#pragma once
+
+#include "lowerbound/lb_graph.h"
+
+namespace cclique {
+
+/// Builds the Lemma 21 lower-bound graph for K_{l,m} (l, m >= 2) over the
+/// bipartite C4-free carrier on N vertices. Result has 2N + l + m - 4
+/// vertices.
+LowerBoundGraph bipartite_lower_bound_graph(int l, int m, int N);
+
+}  // namespace cclique

@@ -1,0 +1,64 @@
+#include "lowerbound/clique_lb.h"
+
+#include "graph/generators.h"
+
+namespace cclique {
+
+LowerBoundGraph clique_lower_bound_graph(int l, int N) {
+  CC_REQUIRE(l >= 4, "clique lower bound needs l >= 4");
+  CC_REQUIRE(N >= 2, "need N >= 2");
+  LowerBoundGraph lbg;
+  lbg.h = complete_graph(l);
+  lbg.f = complete_bipartite(N, N);  // left [0,N), right [N,2N)
+
+  const int s1 = 0, s2 = N, s3 = 2 * N, s4 = 3 * N;
+  const int u0 = 4 * N;
+  const int n = 4 * N + (l - 4);
+  Graph gp(n);
+  // Perfect matchings S1-S2 and S3-S4 (fixed edges).
+  for (int j = 0; j < N; ++j) {
+    gp.add_edge(s1 + j, s2 + j);
+    gp.add_edge(s3 + j, s4 + j);
+  }
+  // Complete bipartite S1 x S4 and S2 x S3 (fixed).
+  for (int j = 0; j < N; ++j) {
+    for (int jp = 0; jp < N; ++jp) {
+      gp.add_edge(s1 + j, s4 + jp);
+      gp.add_edge(s2 + j, s3 + jp);
+    }
+  }
+  // Carrier copies: S1 x S3 (Alice) and S2 x S4 (Bob).
+  for (int j = 0; j < N; ++j) {
+    for (int jp = 0; jp < N; ++jp) {
+      gp.add_edge(s1 + j, s3 + jp);
+      gp.add_edge(s2 + j, s4 + jp);
+    }
+  }
+  // Universal vertices complete the K_4 gadgets to K_l.
+  for (int u = u0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if (v != u) gp.add_edge(u, v);
+    }
+  }
+  lbg.g_prime = std::move(gp);
+
+  lbg.phi_a.resize(static_cast<std::size_t>(2 * N));
+  lbg.phi_b.resize(static_cast<std::size_t>(2 * N));
+  for (int j = 0; j < N; ++j) {
+    lbg.phi_a[static_cast<std::size_t>(j)] = s1 + j;      // F left  -> S1
+    lbg.phi_a[static_cast<std::size_t>(N + j)] = s3 + j;  // F right -> S3
+    lbg.phi_b[static_cast<std::size_t>(j)] = s2 + j;      // F left  -> S2
+    lbg.phi_b[static_cast<std::size_t>(N + j)] = s4 + j;  // F right -> S4
+  }
+
+  // Alice simulates S1, S3 and the even universal vertices; Bob the rest.
+  lbg.side.assign(static_cast<std::size_t>(n), 0);
+  for (int j = 0; j < N; ++j) {
+    lbg.side[static_cast<std::size_t>(s2 + j)] = 1;
+    lbg.side[static_cast<std::size_t>(s4 + j)] = 1;
+  }
+  for (int u = u0; u < n; ++u) lbg.side[static_cast<std::size_t>(u)] = (u - u0) % 2;
+  return lbg;
+}
+
+}  // namespace cclique

@@ -1,0 +1,21 @@
+// Lemma 14 / Theorem 15: K_l detection needs Ω(n/b) broadcast rounds.
+//
+// The construction: four independent sets S_1..S_4 of size N plus l-4
+// universal vertices. S_1-S_2 and S_3-S_4 carry perfect matchings;
+// S_1 x S_4 and S_2 x S_3 are complete (fixed); the carrier copies are
+// F_A = S_1 x S_3 and F_B = S_2 x S_4, both complete bipartite K_{N,N}.
+// Any K_4 must take one matched pair from S_1, S_2 and one from S_3, S_4,
+// forcing a pair (j, j') present in both players' inputs — a disjointness
+// instance of size |E_F| = N^2 = Θ(n^2), giving Ω(N^2/(nb)) = Ω(n/b)
+// rounds by Lemma 13.
+#pragma once
+
+#include "lowerbound/lb_graph.h"
+
+namespace cclique {
+
+/// Builds the (K_l, K_{N,N})-lower-bound graph of Lemma 14.
+/// Requires l >= 4, N >= 2. The result has 4N + l - 4 vertices.
+LowerBoundGraph clique_lower_bound_graph(int l, int N);
+
+}  // namespace cclique

@@ -1,0 +1,38 @@
+#include "lowerbound/counting_bound.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cclique {
+
+CountingBound counting_lower_bound(int n, int bandwidth) {
+  CC_REQUIRE(n >= 2 && bandwidth >= 1, "need n >= 2, b >= 1");
+  CountingBound out;
+  out.n = n;
+  out.bandwidth = bandwidth;
+  const double dn = static_cast<double>(n);
+  const double db = static_cast<double>(bandwidth);
+
+  // log2 #protocols(R) ~ n * R * (n-1) * b * 2^{n + (n-1) b R}  (message
+  // tables) — the output rule is dominated by the same term. We need the
+  // largest R with  log2(log2 #protocols) < n^2, i.e.
+  //   log2(n R (n-1) b) + n + (n-1) b R < n^2.
+  // Solve by scanning R upward (the left side is monotone in R).
+  double r = 0;
+  for (double cand = 1;; ++cand) {
+    const double lhs = std::log2(dn * cand * (dn - 1.0) * db) + dn + (dn - 1.0) * db * cand;
+    if (lhs >= dn * dn) break;
+    r = cand;
+  }
+  out.lower_bound_rounds = r;
+  out.upper_bound_rounds = std::ceil(dn / db);
+  // Closed form (n - O(log n))/b: with the constants above the O(log n)
+  // term is (n + log2(poly(n)))/(n-1) ~ 1 + 2 log2(n)/n rounds' worth; the
+  // paper-level shape is (n^2 - n - 2 log2 n) / ((n-1) b) ~ (n - O(log n))/b.
+  out.closed_form = (dn * dn - dn - 2.0 * std::log2(dn)) / ((dn - 1.0) * db);
+  return out;
+}
+
+}  // namespace cclique

@@ -1,0 +1,39 @@
+// The non-explicit counting lower bound (paper's full version):
+// some function f : {0,1}^{n^2} -> {0,1} requires (n - O(log n))/b rounds
+// in CLIQUE-UCAST(n, b).
+//
+// The argument, made numeric: a deterministic R-round protocol is fully
+// described by each player's message behavior — a map from (its n-bit
+// input, its received history of at most (n-1) b R bits) to its (n-1) b
+// outgoing bits per round — plus an output rule. Taking log2:
+//   log2 #protocols(R) <= n * R * (n-1) b * 2^{n + (n-1) b R} + 2^{(n-1) b R + n}
+// while log2 #functions = 2^{n^2}. The largest R for which protocols cannot
+// exhaust all functions is a valid lower bound for some function; solving
+// the inequality yields R >= (n - O(log n))/b, within O(log n / b) of the
+// trivial n/b upper bound ("everybody ships its input to player 0" —
+// player 0's single incoming link from each player carries n bits at b per
+// round).
+#pragma once
+
+#include <cstdint>
+
+namespace cclique {
+
+/// Numeric form of the counting bound.
+struct CountingBound {
+  int n = 0;
+  int bandwidth = 0;
+  /// Largest R such that log2 #protocols(R) < 2^{n^2} (i.e. some function
+  /// needs more than R rounds).
+  double lower_bound_rounds = 0.0;
+  /// The trivial upper bound ceil(n/b) for any function (learn everything).
+  double upper_bound_rounds = 0.0;
+  /// The paper's closed form (n - c log n)/b evaluated with the c implied
+  /// by the protocol count (for the bench's side-by-side display).
+  double closed_form = 0.0;
+};
+
+/// Evaluates the counting bound for CLIQUE-UCAST(n, b).
+CountingBound counting_lower_bound(int n, int bandwidth);
+
+}  // namespace cclique

@@ -1,0 +1,63 @@
+#include "lowerbound/cycle_lb.h"
+
+#include "graph/extremal.h"
+#include "graph/generators.h"
+
+namespace cclique {
+
+LowerBoundGraph cycle_lower_bound_graph(int l, int N, Rng& rng) {
+  CC_REQUIRE(l >= 4, "cycle lower bound needs l >= 4");
+  CC_REQUIRE(N >= 2 && N % 2 == 0, "carrier size must be even and >= 2");
+  LowerBoundGraph lbg;
+  lbg.h = cycle_graph(l);
+  lbg.f = dense_cl_free_graph(N, l, rng);
+  // For odd l the dense C_l-free carrier is complete bipartite with left
+  // part [0, N/2) — which matches the path-length split below, as required
+  // for the cycle-length arithmetic.
+
+  const int short_len = l / 2 - 1;        // path edges for i < N/2
+  const int long_len = (l + 1) / 2 - 1;   // path edges for i >= N/2
+  // Internal path nodes per i: (len - 1).
+  int internal_total = 0;
+  for (int i = 0; i < N; ++i) {
+    internal_total += ((i < N / 2) ? short_len : long_len) - 1;
+  }
+  const int va = 0, vb = N;
+  const int n = 2 * N + internal_total;
+  Graph gp(n);
+
+  // Carrier copies (template edges; stripped/re-added by instantiation).
+  for (const Edge& e : lbg.f.edges()) {
+    gp.add_edge(va + e.u, va + e.v);
+    gp.add_edge(vb + e.u, vb + e.v);
+  }
+
+  // Fixed paths P_i, with side assignment splitting each path so exactly
+  // one edge crosses the Alice/Bob cut (Definition 12 sparsity).
+  lbg.side.assign(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < N; ++i) lbg.side[static_cast<std::size_t>(vb + i)] = 1;
+  int next_internal = 2 * N;
+  for (int i = 0; i < N; ++i) {
+    const int len = (i < N / 2) ? short_len : long_len;
+    int prev = va + i;
+    for (int step = 1; step < len; ++step) {
+      const int node = next_internal++;
+      gp.add_edge(prev, node);
+      lbg.side[static_cast<std::size_t>(node)] = (step <= len / 2) ? 0 : 1;
+      prev = node;
+    }
+    gp.add_edge(prev, vb + i);
+  }
+  CC_CHECK(next_internal == n, "internal node accounting mismatch");
+  lbg.g_prime = std::move(gp);
+
+  lbg.phi_a.resize(static_cast<std::size_t>(N));
+  lbg.phi_b.resize(static_cast<std::size_t>(N));
+  for (int i = 0; i < N; ++i) {
+    lbg.phi_a[static_cast<std::size_t>(i)] = va + i;
+    lbg.phi_b[static_cast<std::size_t>(i)] = vb + i;
+  }
+  return lbg;
+}
+
+}  // namespace cclique

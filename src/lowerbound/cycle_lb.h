@@ -1,0 +1,25 @@
+// Lemma 18 / Theorem 19: C_l detection needs Ω(ex(n, C_l)/(nb)) rounds,
+// in CLIQUE-BCAST and (δ-sparse, Definition 12) in CONGEST.
+//
+// The construction: two copies of a dense C_l-free carrier F on vertex sets
+// V_A, V_B, with vertex i's copies joined by a fixed path P_i of
+// floor(l/2)-1 edges (i < N/2) or ceil(l/2)-1 edges (i >= N/2). A C_l
+// arises exactly from an F-edge {i,j} present in *both* players' inputs:
+// phi_A(e) + P_j + phi_B(e) + P_i closes a cycle of length exactly l; the
+// path-length split makes every parasitic combination miss length l
+// (for odd l, F is bipartite between the two halves, which kills the
+// within-copy odd cycles).
+#pragma once
+
+#include "lowerbound/lb_graph.h"
+#include "util/rng.h"
+
+namespace cclique {
+
+/// Builds the Lemma 18 lower-bound graph for C_l over a carrier of N
+/// vertices (N even, l >= 4). For odd l the carrier is K_{N/2,N/2}
+/// (extremal); for even l a dense C_l-free graph (polarity graph for l=4,
+/// high-girth construction otherwise — see graph/extremal.h).
+LowerBoundGraph cycle_lower_bound_graph(int l, int N, Rng& rng);
+
+}  // namespace cclique

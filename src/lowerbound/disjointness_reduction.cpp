@@ -1,0 +1,32 @@
+#include "lowerbound/disjointness_reduction.h"
+
+namespace cclique {
+
+ReductionOutcome solve_disjointness_via_detection(const LowerBoundGraph& lbg,
+                                                  const DisjointnessInstance& inst,
+                                                  int bandwidth,
+                                                  const BroadcastDetector& detect) {
+  ReductionOutcome out;
+  out.instance_size = lbg.f.edges().size();
+  const Graph g = instantiate_lower_bound_graph(lbg, inst.x, inst.y);
+
+  CliqueBroadcast net(g.num_vertices(), bandwidth);
+  net.set_cut(lbg.side);
+  const bool contains = detect(net, g);
+
+  out.answered_disjoint = !contains;
+  out.correct = (out.answered_disjoint == inst.disjoint());
+  // Each blackboard bit written by an Alice-node must reach Bob and vice
+  // versa; one extra bit announces the verdict.
+  out.bits_exchanged = net.stats().cut_bits + 1;
+  out.detection_rounds = net.stats().rounds;
+  return out;
+}
+
+double implied_round_lower_bound(const LowerBoundGraph& lbg, double cc_bits,
+                                 int bandwidth) {
+  const double n = static_cast<double>(lbg.g_prime.num_vertices());
+  return cc_bits / (n * static_cast<double>(bandwidth));
+}
+
+}  // namespace cclique

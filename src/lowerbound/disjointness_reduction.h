@@ -1,0 +1,51 @@
+// Lemma 13, executable: solving 2-party set disjointness by simulating an
+// H-subgraph-detection protocol on a lower-bound graph.
+//
+// Alice and Bob hold X, Y ⊆ E(F). They build G = G'(X, Y) (each controlling
+// only the carrier edges on their side — note the fixed part of G' is
+// common knowledge) and co-simulate a broadcast detection protocol, each
+// driving the nodes on their side of the partition. The only information
+// crossing between them is the blackboard traffic, which the engine meters
+// as cut_bits; answering "disjoint" iff the protocol reports no copy of H
+// is correct by Observation 11.
+//
+// This turns any measured upper bound U(n, b) on detection rounds into a
+// *measured* disjointness protocol of cost Θ(U * n * b), and conversely
+// instantiates the paper's bound: rounds >= CC(DISJ_{|E_F|}) / Θ(nb).
+#pragma once
+
+#include <functional>
+
+#include "comm/clique_broadcast.h"
+#include "comm/two_party.h"
+#include "lowerbound/lb_graph.h"
+
+namespace cclique {
+
+/// A broadcast-clique detection protocol: runs on an engine + input graph,
+/// returns whether a copy of lbg.h was found. (e.g. wraps
+/// turan_subgraph_detect or full_broadcast_detect.)
+using BroadcastDetector = std::function<bool(CliqueBroadcast&, const Graph&)>;
+
+/// Outcome of one reduction execution.
+struct ReductionOutcome {
+  bool answered_disjoint = false;
+  bool correct = false;            ///< verdict vs. ground truth
+  std::uint64_t bits_exchanged = 0;  ///< 2-party cost: blackboard bits + 1
+  int detection_rounds = 0;          ///< rounds the simulated protocol took
+  std::size_t instance_size = 0;     ///< |E(F)|, the disjointness universe
+};
+
+/// Executes Lemma 13's reduction for one instance.
+ReductionOutcome solve_disjointness_via_detection(const LowerBoundGraph& lbg,
+                                                  const DisjointnessInstance& inst,
+                                                  int bandwidth,
+                                                  const BroadcastDetector& detect);
+
+/// The implied lower bound on detection rounds for instances carried by
+/// `lbg`, given a communication lower bound `cc_bits` for DISJ_{|E_F|}:
+/// rounds >= cc_bits / (n * b). (For randomized protocols cc_bits = Ω(|E_F|).)
+double implied_round_lower_bound(const LowerBoundGraph& lbg, double cc_bits,
+                                 int bandwidth);
+
+}  // namespace cclique

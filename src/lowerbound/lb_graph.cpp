@@ -1,0 +1,159 @@
+#include "lowerbound/lb_graph.h"
+
+#include <algorithm>
+#include <set>
+
+#include "comm/two_party.h"
+#include "graph/subgraph.h"
+
+namespace cclique {
+
+Graph instantiate_lower_bound_graph(const LowerBoundGraph& lbg,
+                                    const std::vector<bool>& x,
+                                    const std::vector<bool>& y) {
+  const auto f_edges = lbg.f.edges();
+  CC_REQUIRE(x.size() == f_edges.size() && y.size() == f_edges.size(),
+             "instance vectors must be indexed by E(F)");
+  // Carrier-copy edges of G' (to be stripped and selectively re-added).
+  std::set<Edge> carrier;
+  for (const Edge& e : f_edges) {
+    carrier.insert(Edge(lbg.phi_a[static_cast<std::size_t>(e.u)],
+                        lbg.phi_a[static_cast<std::size_t>(e.v)]));
+    carrier.insert(Edge(lbg.phi_b[static_cast<std::size_t>(e.u)],
+                        lbg.phi_b[static_cast<std::size_t>(e.v)]));
+  }
+  Graph g(lbg.g_prime.num_vertices());
+  for (const Edge& e : lbg.g_prime.edges()) {
+    if (carrier.count(e) == 0) g.add_edge(e.u, e.v);
+  }
+  for (std::size_t i = 0; i < f_edges.size(); ++i) {
+    const Edge& e = f_edges[i];
+    if (x[i]) {
+      g.add_edge(lbg.phi_a[static_cast<std::size_t>(e.u)],
+                 lbg.phi_a[static_cast<std::size_t>(e.v)]);
+    }
+    if (y[i]) {
+      g.add_edge(lbg.phi_b[static_cast<std::size_t>(e.u)],
+                 lbg.phi_b[static_cast<std::size_t>(e.v)]);
+    }
+  }
+  return g;
+}
+
+bool verify_structure(const LowerBoundGraph& lbg) {
+  const int nf = lbg.f.num_vertices();
+  const int np = lbg.g_prime.num_vertices();
+  if (static_cast<int>(lbg.phi_a.size()) != nf ||
+      static_cast<int>(lbg.phi_b.size()) != nf) {
+    return false;
+  }
+  if (static_cast<int>(lbg.side.size()) != np) return false;
+  std::set<int> image;
+  for (int v : lbg.phi_a) {
+    if (v < 0 || v >= np || !image.insert(v).second) return false;
+  }
+  for (int v : lbg.phi_b) {
+    if (v < 0 || v >= np || !image.insert(v).second) return false;
+  }
+  // Homomorphism: every F-edge maps to a G'-edge under both maps, and
+  // sides are respected (V_A on side 0, V_B on side 1).
+  for (const Edge& e : lbg.f.edges()) {
+    if (!lbg.g_prime.has_edge(lbg.phi_a[static_cast<std::size_t>(e.u)],
+                              lbg.phi_a[static_cast<std::size_t>(e.v)])) {
+      return false;
+    }
+    if (!lbg.g_prime.has_edge(lbg.phi_b[static_cast<std::size_t>(e.u)],
+                              lbg.phi_b[static_cast<std::size_t>(e.v)])) {
+      return false;
+    }
+  }
+  for (int v : lbg.phi_a) {
+    if (lbg.side[static_cast<std::size_t>(v)] != 0) return false;
+  }
+  for (int v : lbg.phi_b) {
+    if (lbg.side[static_cast<std::size_t>(v)] != 1) return false;
+  }
+  return true;
+}
+
+bool verify_observation_11(const LowerBoundGraph& lbg, int trials, Rng& rng) {
+  const std::size_t m = lbg.f.edges().size();
+  // (1) Per-edge completeness.
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<bool> x(m, false), y(m, false);
+    x[i] = y[i] = true;
+    if (!contains_subgraph(instantiate_lower_bound_graph(lbg, x, y), lbg.h)) {
+      return false;
+    }
+  }
+  // (2) Soundness on disjoint instances: extremes plus random splits.
+  {
+    std::vector<bool> all(m, true), none(m, false);
+    if (contains_subgraph(instantiate_lower_bound_graph(lbg, all, none), lbg.h)) {
+      return false;
+    }
+    if (contains_subgraph(instantiate_lower_bound_graph(lbg, none, all), lbg.h)) {
+      return false;
+    }
+  }
+  for (int t = 0; t < trials; ++t) {
+    DisjointnessInstance inst = random_disjoint_instance(m, 0.7, rng);
+    if (contains_subgraph(instantiate_lower_bound_graph(lbg, inst.x, inst.y), lbg.h)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool verify_condition_ii(const LowerBoundGraph& lbg) {
+  // Index carrier pairs for lookup.
+  const auto f_edges = lbg.f.edges();
+  std::set<std::pair<Edge, Edge>> pairs;
+  for (const Edge& e : f_edges) {
+    pairs.insert({Edge(lbg.phi_a[static_cast<std::size_t>(e.u)],
+                       lbg.phi_a[static_cast<std::size_t>(e.v)]),
+                  Edge(lbg.phi_b[static_cast<std::size_t>(e.u)],
+                       lbg.phi_b[static_cast<std::size_t>(e.v)])});
+  }
+  std::set<int> ab_vertices;
+  for (int v : lbg.phi_a) ab_vertices.insert(v);
+  for (int v : lbg.phi_b) ab_vertices.insert(v);
+
+  bool ok = true;
+  for_each_embedding(lbg.g_prime, lbg.h, [&](const std::vector<int>& map) {
+    // Image edges of the embedding.
+    std::set<Edge> image_edges;
+    for (const Edge& he : lbg.h.edges()) {
+      image_edges.insert(Edge(map[static_cast<std::size_t>(he.u)],
+                              map[static_cast<std::size_t>(he.v)]));
+    }
+    // Vertices of H' inside V_A ∪ V_B.
+    std::vector<int> touched;
+    for (int v : map) {
+      if (ab_vertices.count(v) != 0) touched.push_back(v);
+    }
+    std::sort(touched.begin(), touched.end());
+    // Find a carrier pair realized by this embedding.
+    for (const auto& [ea, eb] : pairs) {
+      if (image_edges.count(ea) == 0 || image_edges.count(eb) == 0) continue;
+      std::vector<int> endpoints{ea.u, ea.v, eb.u, eb.v};
+      std::sort(endpoints.begin(), endpoints.end());
+      if (endpoints == touched) return true;  // this embedding is fine
+    }
+    ok = false;
+    return false;  // counterexample found; stop
+  });
+  return ok;
+}
+
+std::size_t partition_cut_size(const LowerBoundGraph& lbg) {
+  std::size_t cut = 0;
+  for (const Edge& e : lbg.g_prime.edges()) {
+    if (lbg.side[static_cast<std::size_t>(e.u)] != lbg.side[static_cast<std::size_t>(e.v)]) {
+      ++cut;
+    }
+  }
+  return cut;
+}
+
+}  // namespace cclique

@@ -1,0 +1,52 @@
+// Theorem 24, executable: solving 3-party NOF set disjointness by
+// simulating triangle detection in CLIQUE-BCAST on a Ruzsa–Szemerédi graph.
+//
+// The RS graph G_n has m = n^2/e^{O(sqrt(log n))} edge-disjoint triangles
+// t_1..t_m, each edge belonging to exactly one (Claim 23). Given NOF inputs
+// X_A, X_B, X_C ⊆ [m], the players materialize the subgraph G_X keeping
+//   A x B edges of t_i  iff i ∈ X_C,
+//   B x C edges of t_i  iff i ∈ X_A,
+//   C x A edges of t_i  iff i ∈ X_B
+// (each player can see the inputs written on the *other* players' foreheads,
+// which is exactly what it needs to run its own nodes). G_X has a triangle
+// iff X_A ∩ X_B ∩ X_C != ∅, so simulating any R-round CLIQUE-BCAST(n,b)
+// triangle-detection protocol answers disjointness with ~ n*b*R + 1 bits of
+// blackboard traffic — Theorem 24's R >= R_3-NOF(DISJ_m)/O(nb).
+#pragma once
+
+#include <functional>
+
+#include "comm/clique_broadcast.h"
+#include "comm/nof.h"
+#include "graph/ruzsa_szemeredi.h"
+
+namespace cclique {
+
+/// A triangle detector on the broadcast clique.
+using BroadcastTriangleDetector = std::function<bool(CliqueBroadcast&, const Graph&)>;
+
+/// Outcome of one Theorem 24 reduction execution.
+struct NofReductionOutcome {
+  bool answered_intersecting = false;
+  bool correct = false;
+  std::uint64_t blackboard_bits = 0;  ///< total NOF communication (+1 verdict)
+  int detection_rounds = 0;
+  std::size_t instance_size = 0;      ///< m = number of RS triangles
+};
+
+/// Builds G_X from the RS graph and the NOF instance (instance size must be
+/// rs.triangles.size()).
+Graph instantiate_nof_graph(const RuzsaSzemerediGraph& rs,
+                            const NofDisjointnessInstance& inst);
+
+/// Executes the reduction for one instance.
+NofReductionOutcome solve_nof_disjointness_via_triangles(
+    const RuzsaSzemerediGraph& rs, const NofDisjointnessInstance& inst,
+    int bandwidth, const BroadcastTriangleDetector& detect);
+
+/// Corollary 25's deterministic bound, instantiated: with the Rao–Yehudayoff
+/// Ω(m) bound on deterministic 3-NOF disjointness, triangle detection needs
+/// at least c * m / (n * b) rounds on the RS family. Returns m/(n*b).
+double implied_triangle_round_bound(const RuzsaSzemerediGraph& rs, int bandwidth);
+
+}  // namespace cclique

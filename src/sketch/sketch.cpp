@@ -1,0 +1,138 @@
+#include "sketch/sketch.h"
+
+#include <algorithm>
+
+#include "util/field.h"
+#include "util/math_util.h"
+
+namespace cclique {
+
+namespace {
+using F = Mersenne61;
+}  // namespace
+
+NodeSketch make_sketch(const Graph& g, int v, int k) {
+  CC_REQUIRE(k >= 1, "sketch parameter must be positive");
+  NodeSketch s;
+  s.degree = static_cast<std::uint64_t>(g.degree(v));
+  s.power_sums.assign(static_cast<std::size_t>(2 * k), 0);
+  for (int u : g.neighbors(v)) {
+    const std::uint64_t x = static_cast<std::uint64_t>(u) + 1;
+    std::uint64_t xp = 1;
+    for (int t = 0; t < 2 * k; ++t) {
+      xp = F::mul(xp, x);
+      s.power_sums[static_cast<std::size_t>(t)] =
+          F::add(s.power_sums[static_cast<std::size_t>(t)], xp);
+    }
+  }
+  return s;
+}
+
+std::size_t sketch_bits(int k, int n) {
+  return static_cast<std::size_t>(bits_for(static_cast<std::uint64_t>(n) + 1)) +
+         static_cast<std::size_t>(2 * k) * 61;
+}
+
+std::optional<std::vector<int>> decode_power_sums(
+    const std::vector<std::uint64_t>& sums, std::uint64_t count, int n) {
+  const std::size_t d = static_cast<std::size_t>(count);
+  if (d == 0) return std::vector<int>{};
+  if (d > sums.size()) return std::nullopt;  // count exceeds sketch capacity
+
+  // Newton's identities: i * e_i = Σ_{t=1..i} (-1)^{t-1} e_{i-t} p_t.
+  std::vector<std::uint64_t> e(d + 1, 0);
+  e[0] = 1;
+  for (std::size_t i = 1; i <= d; ++i) {
+    std::uint64_t acc = 0;
+    for (std::size_t t = 1; t <= i; ++t) {
+      const std::uint64_t term = F::mul(e[i - t], sums[t - 1]);
+      acc = (t % 2 == 1) ? F::add(acc, term) : F::sub(acc, term);
+    }
+    e[i] = F::mul(acc, F::inv(i % F::kP));
+  }
+
+  // Roots of x^d - e1 x^{d-1} + e2 x^{d-2} - ... over the id universe.
+  std::vector<int> found;
+  for (int cand = 0; cand < n && found.size() < d; ++cand) {
+    const std::uint64_t x = static_cast<std::uint64_t>(cand) + 1;
+    // Horner evaluation of Σ (-1)^i e_i x^{d-i}.
+    std::uint64_t val = 0;
+    for (std::size_t i = 0; i <= d; ++i) {
+      val = F::mul(val, x);
+      const std::uint64_t coeff = e[i];
+      val = (i % 2 == 0) ? F::add(val, coeff) : F::sub(val, coeff);
+    }
+    if (val == 0) found.push_back(cand);
+  }
+  if (found.size() != d) return std::nullopt;
+
+  // Verify against every provided power sum (catches multiplicities and
+  // counts inconsistent with the sketch).
+  std::vector<std::uint64_t> check(sums.size(), 0);
+  for (int id : found) {
+    const std::uint64_t x = static_cast<std::uint64_t>(id) + 1;
+    std::uint64_t xp = 1;
+    for (std::size_t t = 0; t < sums.size(); ++t) {
+      xp = F::mul(xp, x);
+      check[t] = F::add(check[t], xp);
+    }
+  }
+  if (check != sums) return std::nullopt;
+  return found;
+}
+
+ReconstructionResult reconstruct_from_sketches(std::vector<NodeSketch> sketches,
+                                               int k, int n) {
+  CC_REQUIRE(static_cast<int>(sketches.size()) == n, "one sketch per node");
+  ReconstructionResult result;
+  result.graph = Graph(n);
+
+  std::vector<bool> peeled(static_cast<std::size_t>(n), false);
+  int remaining = n;
+  while (remaining > 0) {
+    // Take any unpeeled node of minimum residual degree.
+    int v = -1;
+    for (int u = 0; u < n; ++u) {
+      if (peeled[static_cast<std::size_t>(u)]) continue;
+      if (v < 0 || sketches[static_cast<std::size_t>(u)].degree <
+                       sketches[static_cast<std::size_t>(v)].degree) {
+        v = u;
+      }
+    }
+    NodeSketch& sv = sketches[static_cast<std::size_t>(v)];
+    if (sv.degree > static_cast<std::uint64_t>(k)) {
+      // Peel is stuck: every remaining node still has > k unknown
+      // neighbors, which certifies degeneracy(G) > k.
+      return result;
+    }
+    auto nbrs = decode_power_sums(sv.power_sums, sv.degree, n);
+    if (!nbrs.has_value()) return result;  // inconsistent sketch: fail soundly
+    for (int u : *nbrs) {
+      if (u == v || peeled[static_cast<std::size_t>(u)] ||
+          result.graph.has_edge(u, v)) {
+        // A decoded neighbor that is already peeled (its edges were fully
+        // accounted) or duplicated indicates an inconsistent sketch set.
+        return result;
+      }
+      result.graph.add_edge(v, u);
+      // Remove v from u's residual sketch.
+      NodeSketch& su = sketches[static_cast<std::size_t>(u)];
+      if (su.degree == 0) return result;
+      --su.degree;
+      const std::uint64_t x = static_cast<std::uint64_t>(v) + 1;
+      std::uint64_t xp = 1;
+      for (std::size_t t = 0; t < su.power_sums.size(); ++t) {
+        xp = Mersenne61::mul(xp, x);
+        su.power_sums[t] = Mersenne61::sub(su.power_sums[t], xp);
+      }
+    }
+    sv.degree = 0;
+    std::fill(sv.power_sums.begin(), sv.power_sums.end(), 0);
+    peeled[static_cast<std::size_t>(v)] = true;
+    --remaining;
+  }
+  result.success = true;
+  return result;
+}
+
+}  // namespace cclique

@@ -1,0 +1,64 @@
+// "Algorithm A" of Becker et al. [2]: one-round reconstruction of graphs of
+// degeneracy <= k from O(k log n)-bit broadcasts.
+//
+// Interface contract used by Theorems 7 and 9: every node simultaneously
+// broadcasts one O(k log n)-bit message; if the input graph has degeneracy
+// at most k, every node can reconstruct the *entire* graph from the n
+// messages; otherwise all nodes detect the failure (soundly — a completed
+// reconstruction is always correct, regardless of the actual degeneracy).
+//
+// Realization (substitution #2 in DESIGN.md): node v's message is a
+// deterministic k-sparse-recovery sketch of its adjacency list —
+//   [ degree(v) , p_1, ..., p_{2k} ]   with   p_t = Σ_{u ∈ N(v)} (u+1)^t
+// over F_p, p = 2^61 - 1. Decoding peels minimum-residual-degree nodes:
+// a node with residual degree d <= k has its d remaining neighbors decoded
+// from p_1..p_d via Newton's identities (power sums -> elementary symmetric
+// polynomials -> root scan over the id universe), verified against
+// p_{d+1}..p_{2k}, and subtracted from its neighbors' sketches. The
+// degeneracy ordering guarantees the peel never gets stuck when
+// degeneracy(G) <= k.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/check.h"
+
+namespace cclique {
+
+/// The broadcast payload of one node.
+struct NodeSketch {
+  std::uint64_t degree = 0;
+  /// Power sums p_1..p_{2k} of (neighbor id + 1) over F_{2^61-1}.
+  std::vector<std::uint64_t> power_sums;
+};
+
+/// Builds node v's sketch with parameter k.
+NodeSketch make_sketch(const Graph& g, int v, int k);
+
+/// Exact bit size of a sketch message: one degree field (bits_for(n)) plus
+/// 2k field elements of 61 bits — the O(k log n) of [2].
+std::size_t sketch_bits(int k, int n);
+
+/// Decodes a set of exactly `count` distinct ids in [0, n) from power sums
+/// (p_t = Σ (id+1)^t). Returns nullopt if no consistent set exists (which
+/// the peeling treats as "parameter k too small"). All 2k sums are used for
+/// verification.
+std::optional<std::vector<int>> decode_power_sums(
+    const std::vector<std::uint64_t>& sums, std::uint64_t count, int n);
+
+/// Outcome of a reconstruction attempt.
+struct ReconstructionResult {
+  bool success = false;  ///< true iff the peel completed (graph is correct)
+  Graph graph;           ///< reconstructed graph when success
+};
+
+/// Referee-side reconstruction from all n sketches (parameter k must match
+/// the one used to build them). Success iff peeling completes; guaranteed
+/// when degeneracy(G) <= k.
+ReconstructionResult reconstruct_from_sketches(std::vector<NodeSketch> sketches,
+                                               int k, int n);
+
+}  // namespace cclique

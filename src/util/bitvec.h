@@ -1,0 +1,126 @@
+// Packed bit vector: the payload type for every simulated message.
+//
+// The communication models in this library account for bandwidth in *bits*,
+// so messages are built by appending bit fields and consumed by a cursor
+// reader. A BitVec knows its exact length in bits; the engines use that
+// length to enforce per-edge / per-player bandwidth caps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cclique {
+
+/// Growable vector of bits with exact bit-length accounting.
+class BitVec {
+ public:
+  BitVec() = default;
+
+  /// Constructs an all-zero vector of `nbits` bits.
+  explicit BitVec(std::size_t nbits) : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+  /// Number of bits held.
+  std::size_t size_bits() const { return nbits_; }
+
+  bool empty() const { return nbits_ == 0; }
+
+  /// Reads the bit at `pos` (0-based). Requires pos < size_bits().
+  bool get(std::size_t pos) const {
+    CC_REQUIRE(pos < nbits_, "BitVec::get out of range");
+    return (words_[pos >> 6] >> (pos & 63)) & 1ULL;
+  }
+
+  /// Writes the bit at `pos`. Requires pos < size_bits().
+  void set(std::size_t pos, bool value) {
+    CC_REQUIRE(pos < nbits_, "BitVec::set out of range");
+    const std::uint64_t mask = 1ULL << (pos & 63);
+    if (value) {
+      words_[pos >> 6] |= mask;
+    } else {
+      words_[pos >> 6] &= ~mask;
+    }
+  }
+
+  /// Appends a single bit.
+  void push_bit(bool value) {
+    if ((nbits_ & 63) == 0) words_.push_back(0);
+    if (value) words_.back() |= 1ULL << (nbits_ & 63);
+    ++nbits_;
+  }
+
+  /// Appends the low `width` bits of `value`, least-significant first.
+  /// width must be in [0, 64].
+  void push_uint(std::uint64_t value, int width) {
+    CC_REQUIRE(width >= 0 && width <= 64, "push_uint width out of range");
+    for (int i = 0; i < width; ++i) push_bit((value >> i) & 1ULL);
+  }
+
+  /// Appends all bits of `other`.
+  void append(const BitVec& other) {
+    for (std::size_t i = 0; i < other.nbits_; ++i) push_bit(other.get(i));
+  }
+
+  /// Extracts `width` bits starting at `pos` as an integer
+  /// (least-significant bit first, matching push_uint).
+  std::uint64_t read_uint(std::size_t pos, int width) const {
+    CC_REQUIRE(width >= 0 && width <= 64, "read_uint width out of range");
+    CC_REQUIRE(pos + static_cast<std::size_t>(width) <= nbits_,
+               "read_uint out of range");
+    std::uint64_t out = 0;
+    for (int i = 0; i < width; ++i) {
+      if (get(pos + static_cast<std::size_t>(i))) out |= 1ULL << i;
+    }
+    return out;
+  }
+
+  bool operator==(const BitVec& other) const {
+    if (nbits_ != other.nbits_) return false;
+    for (std::size_t i = 0; i < nbits_; ++i) {
+      if (get(i) != other.get(i)) return false;
+    }
+    return true;
+  }
+  bool operator!=(const BitVec& other) const { return !(*this == other); }
+
+  /// Human-readable 0/1 string, most recently appended bit last.
+  std::string to_string() const {
+    std::string s;
+    s.reserve(nbits_);
+    for (std::size_t i = 0; i < nbits_; ++i) s.push_back(get(i) ? '1' : '0');
+    return s;
+  }
+
+ private:
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Sequential reader over a BitVec; tracks a cursor so protocol code can
+/// decode structured messages field by field.
+class BitReader {
+ public:
+  explicit BitReader(const BitVec& bits) : bits_(&bits) {}
+
+  /// Bits not yet consumed.
+  std::size_t remaining() const { return bits_->size_bits() - pos_; }
+
+  bool read_bit() {
+    CC_REQUIRE(remaining() >= 1, "BitReader exhausted");
+    return bits_->get(pos_++);
+  }
+
+  std::uint64_t read_uint(int width) {
+    std::uint64_t v = bits_->read_uint(pos_, width);
+    pos_ += static_cast<std::size_t>(width);
+    return v;
+  }
+
+ private:
+  const BitVec* bits_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cclique

@@ -1,0 +1,75 @@
+// Error-handling primitives used across the library.
+//
+// The simulator is a correctness-first instrument: a protocol that oversteps
+// its bandwidth budget, or an algorithm handed an argument outside its
+// contract, must fail loudly rather than silently produce a wrong round
+// count. All checks are active in every build type.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cclique {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an internal invariant fails (a bug in this library).
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a simulated protocol violates a model constraint
+/// (e.g. sends more than `b` bits over an edge in one round).
+class ModelViolation : public std::runtime_error {
+ public:
+  explicit ModelViolation(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+inline std::string format_failure(const char* kind, const char* expr,
+                                  const char* file, int line,
+                                  const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  return os.str();
+}
+
+}  // namespace detail
+
+}  // namespace cclique
+
+/// Precondition check: caller-facing contract. Always enabled.
+#define CC_REQUIRE(cond, msg)                                                \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      throw ::cclique::PreconditionError(::cclique::detail::format_failure( \
+          "precondition", #cond, __FILE__, __LINE__, (msg)));                \
+    }                                                                        \
+  } while (0)
+
+/// Internal invariant check: a failure indicates a library bug.
+#define CC_CHECK(cond, msg)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      throw ::cclique::InvariantError(::cclique::detail::format_failure(    \
+          "invariant", #cond, __FILE__, __LINE__, (msg)));                   \
+    }                                                                        \
+  } while (0)
+
+/// Model-constraint check: a failure means a simulated protocol broke the
+/// communication model's rules (bandwidth, addressing, scheduling).
+#define CC_MODEL(cond, msg)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      throw ::cclique::ModelViolation(::cclique::detail::format_failure(    \
+          "model constraint", #cond, __FILE__, __LINE__, (msg)));            \
+    }                                                                        \
+  } while (0)

@@ -1,0 +1,68 @@
+// Arithmetic in F_p for the Mersenne prime p = 2^61 - 1.
+//
+// The Becker-et-al. reconstruction sketches (src/sketch) encode neighbor
+// multisets as power sums over a prime field whose size exceeds any node id;
+// 2^61 - 1 gives fast reduction-free-of-division arithmetic and 61-bit
+// elements, which is what the O(k log n) message-size accounting of the
+// one-round protocol assumes.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace cclique {
+
+/// F_p element operations, p = 2^61 - 1. Values are kept in [0, p).
+class Mersenne61 {
+ public:
+  static constexpr std::uint64_t kP = (1ULL << 61) - 1;
+
+  /// Reduces an arbitrary 64-bit value into [0, p).
+  static std::uint64_t reduce(std::uint64_t x) {
+    x = (x & kP) + (x >> 61);
+    if (x >= kP) x -= kP;
+    return x;
+  }
+
+  static std::uint64_t add(std::uint64_t a, std::uint64_t b) {
+    std::uint64_t s = a + b;
+    if (s >= kP) s -= kP;
+    return s;
+  }
+
+  static std::uint64_t sub(std::uint64_t a, std::uint64_t b) {
+    return a >= b ? a - b : a + kP - b;
+  }
+
+  static std::uint64_t neg(std::uint64_t a) { return a == 0 ? 0 : kP - a; }
+
+  static std::uint64_t mul(std::uint64_t a, std::uint64_t b) {
+    __uint128_t t = static_cast<__uint128_t>(a) * b;
+    std::uint64_t lo = static_cast<std::uint64_t>(t) & kP;
+    std::uint64_t hi = static_cast<std::uint64_t>(t >> 61);
+    std::uint64_t s = lo + hi;
+    if (s >= kP) s -= kP;
+    return s;
+  }
+
+  static std::uint64_t pow(std::uint64_t base, std::uint64_t exp) {
+    std::uint64_t r = 1;
+    base = reduce(base);
+    while (exp > 0) {
+      if (exp & 1ULL) r = mul(r, base);
+      base = mul(base, base);
+      exp >>= 1;
+    }
+    return r;
+  }
+
+  /// Multiplicative inverse; requires a != 0 (mod p).
+  static std::uint64_t inv(std::uint64_t a) {
+    a = reduce(a);
+    CC_REQUIRE(a != 0, "inverse of zero in F_p");
+    return pow(a, kP - 2);  // Fermat
+  }
+};
+
+}  // namespace cclique

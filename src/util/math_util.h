@@ -1,0 +1,56 @@
+// Small integer-math helpers shared across modules.
+#pragma once
+
+#include <cstdint>
+
+namespace cclique {
+
+/// ceil(a / b) for non-negative a and positive b.
+inline std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Number of bits needed to represent values in [0, n); at least 1.
+/// This is the standard message-field width for node ids in [0, n).
+inline int bits_for(std::uint64_t n) {
+  int w = 1;
+  while ((1ULL << w) < n) ++w;
+  return w;
+}
+
+/// floor(log2(x)) for x >= 1.
+inline int floor_log2(std::uint64_t x) {
+  int l = 0;
+  while (x >>= 1) ++l;
+  return l;
+}
+
+/// Integer square root: the largest r with r*r <= x.
+inline std::uint64_t isqrt(std::uint64_t x) {
+  if (x == 0) return 0;
+  std::uint64_t r = static_cast<std::uint64_t>(__builtin_sqrtl(static_cast<long double>(x)));
+  while (r > 0 && r * r > x) --r;
+  while ((r + 1) * (r + 1) <= x) ++r;
+  return r;
+}
+
+/// Deterministic primality test for 64-bit inputs (trial division is enough
+/// for the small q used by projective-plane constructions).
+inline bool is_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  if (n % 2 == 0) return n == 2;
+  for (std::uint64_t d = 3; d * d <= n; d += 2) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+/// Largest prime <= n, or 0 if none.
+inline std::uint64_t prev_prime(std::uint64_t n) {
+  for (std::uint64_t q = n; q >= 2; --q) {
+    if (is_prime(q)) return q;
+  }
+  return 0;
+}
+
+}  // namespace cclique

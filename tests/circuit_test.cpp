@@ -1,0 +1,306 @@
+// Tests for the circuit substrate: gate semantics, Definition 1
+// separability, layering, builders, and the GF(2) matrix circuits.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "circuit/builders.h"
+#include "circuit/circuit.h"
+#include "circuit/mm_circuit.h"
+#include "graph/generators.h"
+#include "linalg/f2matrix.h"
+#include "util/rng.h"
+
+namespace cclique {
+namespace {
+
+TEST(Circuit, AndOrXorSemantics) {
+  Circuit c;
+  const int a = c.add_input();
+  const int b = c.add_input();
+  c.mark_output(c.add_gate(GateKind::kAnd, {a, b}));
+  c.mark_output(c.add_gate(GateKind::kOr, {a, b}));
+  c.mark_output(c.add_gate(GateKind::kXor, {a, b}));
+  c.mark_output(c.add_not(a));
+  for (int x = 0; x < 4; ++x) {
+    const bool va = x & 1, vb = x & 2;
+    auto out = c.evaluate({va, vb});
+    EXPECT_EQ(out[0], va && vb);
+    EXPECT_EQ(out[1], va || vb);
+    EXPECT_EQ(out[2], va != vb);
+    EXPECT_EQ(out[3], !va);
+  }
+}
+
+TEST(Circuit, ModGateSemantics) {
+  Circuit c;
+  std::vector<int> ins;
+  for (int i = 0; i < 5; ++i) ins.push_back(c.add_input());
+  c.mark_output(c.add_mod(ins, 3));
+  for (int x = 0; x < 32; ++x) {
+    std::vector<bool> v;
+    int ones = 0;
+    for (int i = 0; i < 5; ++i) {
+      v.push_back((x >> i) & 1);
+      ones += (x >> i) & 1;
+    }
+    EXPECT_EQ(c.evaluate(v)[0], ones % 3 == 0);
+  }
+}
+
+TEST(Circuit, ThresholdGateSemantics) {
+  Circuit c;
+  std::vector<int> ins;
+  for (int i = 0; i < 6; ++i) ins.push_back(c.add_input());
+  c.mark_output(c.add_threshold(ins, 4));
+  for (int x = 0; x < 64; ++x) {
+    std::vector<bool> v;
+    int ones = 0;
+    for (int i = 0; i < 6; ++i) {
+      v.push_back((x >> i) & 1);
+      ones += (x >> i) & 1;
+    }
+    EXPECT_EQ(c.evaluate(v)[0], ones >= 4);
+  }
+}
+
+TEST(Circuit, LutGateSemantics) {
+  Circuit c;
+  const int a = c.add_input();
+  const int b = c.add_input();
+  // LUT for implication a -> b: table indexed by (b << 1) | a.
+  c.mark_output(c.add_lut({a, b}, {true, false, true, true}));
+  EXPECT_TRUE(c.evaluate({false, false})[0]);
+  EXPECT_FALSE(c.evaluate({true, false})[0]);
+  EXPECT_TRUE(c.evaluate({false, true})[0]);
+  EXPECT_TRUE(c.evaluate({true, true})[0]);
+}
+
+TEST(Circuit, ConstGates) {
+  Circuit c;
+  c.mark_output(c.add_const(true));
+  c.mark_output(c.add_const(false));
+  auto out = c.evaluate({});
+  EXPECT_TRUE(out[0]);
+  EXPECT_FALSE(out[1]);
+}
+
+TEST(Circuit, WireAndLayerAccounting) {
+  Circuit c = parity_tree(16, 4);
+  EXPECT_EQ(c.num_inputs(), 16);
+  // 16 leaves -> 4 XOR4 -> 1 XOR4: wires = 16 + 4 = 20, depth 2.
+  EXPECT_EQ(c.num_wires(), 20u);
+  EXPECT_EQ(c.depth(), 2);
+  auto layers = c.layers();
+  ASSERT_EQ(layers.size(), 3u);
+  EXPECT_EQ(layers[0].size(), 16u);
+  EXPECT_EQ(layers[1].size(), 4u);
+  EXPECT_EQ(layers[2].size(), 1u);
+}
+
+// Definition 1 invariant: for random partitions of a gate's in-wires,
+// combine(partials) must equal direct evaluation, and each partial must fit
+// separability_bits().
+class SeparabilityTest : public ::testing::TestWithParam<GateKind> {};
+
+TEST_P(SeparabilityTest, PartitionInvariance) {
+  Rng rng(42);
+  const GateKind kind = GetParam();
+  for (int fanin : {1, 2, 5, 9}) {
+    Circuit c;
+    std::vector<int> ins;
+    for (int i = 0; i < fanin; ++i) ins.push_back(c.add_input());
+    int gid = -1;
+    switch (kind) {
+      case GateKind::kAnd:
+      case GateKind::kOr:
+      case GateKind::kXor:
+        gid = c.add_gate(kind, ins);
+        break;
+      case GateKind::kMod:
+        gid = c.add_mod(ins, 3);
+        break;
+      case GateKind::kThreshold:
+        gid = c.add_threshold(ins, (fanin + 1) / 2);
+        break;
+      default:
+        FAIL() << "unsupported parameterization";
+    }
+    const int bits = c.separability_bits(gid);
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<bool> values(static_cast<std::size_t>(fanin));
+      for (auto&& v : values) v = rng.coin();
+      // Random partition into up to 3 parts.
+      std::vector<std::vector<int>> parts(3);
+      for (int i = 0; i < fanin; ++i) {
+        parts[rng.uniform(3)].push_back(i);
+      }
+      std::vector<PartAggregate> aggs;
+      for (const auto& part : parts) {
+        if (part.empty()) continue;
+        std::vector<bool> pv;
+        for (int pos : part) pv.push_back(values[static_cast<std::size_t>(pos)]);
+        PartAggregate agg = c.partial_aggregate(gid, part, pv);
+        EXPECT_LE(agg.bits, bits);
+        if (agg.bits < 64) {
+          EXPECT_EQ(agg.value >> agg.bits, 0u) << "aggregate overflows its width";
+        }
+        aggs.push_back(agg);
+      }
+      EXPECT_EQ(c.combine(gid, aggs), c.eval_gate(gid, values));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSeparableKinds, SeparabilityTest,
+                         ::testing::Values(GateKind::kAnd, GateKind::kOr,
+                                           GateKind::kXor, GateKind::kMod,
+                                           GateKind::kThreshold));
+
+TEST(Circuit, SeparabilityBitsMatchPaper) {
+  Circuit c;
+  std::vector<int> ins;
+  for (int i = 0; i < 63; ++i) ins.push_back(c.add_input());
+  EXPECT_EQ(c.separability_bits(c.add_gate(GateKind::kAnd, ins)), 1);
+  EXPECT_EQ(c.separability_bits(c.add_mod(ins, 6)), 3);       // ceil(log2 6)
+  EXPECT_EQ(c.separability_bits(c.add_threshold(ins, 10)), 6);  // ceil(log2 64)
+}
+
+TEST(Builders, ParityTreeComputesParity) {
+  Rng rng(1);
+  for (int fanin : {2, 3, 7}) {
+    Circuit c = parity_tree(20, fanin);
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<bool> v(20);
+      bool parity = false;
+      for (auto&& x : v) {
+        const bool bit = rng.coin();
+        x = bit;
+        parity = parity != bit;
+      }
+      EXPECT_EQ(c.evaluate(v)[0], parity);
+    }
+  }
+}
+
+TEST(Builders, MajorityMatchesDefinition) {
+  Rng rng(2);
+  Circuit c = majority(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<bool> v(9);
+    int ones = 0;
+    for (auto&& x : v) {
+      const bool bit = rng.coin();
+      x = bit;
+      ones += bit;
+    }
+    EXPECT_EQ(c.evaluate(v)[0], ones >= 5);
+  }
+}
+
+TEST(Builders, ModModCircuitDepth2) {
+  Rng rng(3);
+  Circuit c = mod_mod_circuit(30, 6, 10, 8, rng);
+  EXPECT_EQ(c.depth(), 2);
+  // Evaluate once to ensure structural validity.
+  std::vector<bool> v(30, true);
+  c.evaluate(v);
+}
+
+TEST(Builders, RandomLayeredCircuitEvaluates) {
+  Rng rng(4);
+  for (int trial = 0; trial < 5; ++trial) {
+    Circuit c = random_layered_circuit(10, 8, 4, 5, rng);
+    EXPECT_EQ(c.depth(), 5);  // 4 layers + output XOR
+    std::vector<bool> v(10);
+    for (auto&& x : v) x = rng.coin();
+    c.evaluate(v);
+  }
+}
+
+// The GF(2) matrix circuits must agree with the numeric library for both
+// the naive and Strassen builds.
+class MmCircuitTest : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(MmCircuitTest, MatchesNumericProduct) {
+  const auto [n, strassen] = GetParam();
+  Rng rng(100 + n);
+  Circuit c = f2_matmul_circuit(n, strassen);
+  for (int trial = 0; trial < 3; ++trial) {
+    const F2Matrix a = F2Matrix::random(n, rng);
+    const F2Matrix b = F2Matrix::random(n, rng);
+    std::vector<bool> inputs;
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) inputs.push_back(a.get(i, j));
+    }
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) inputs.push_back(b.get(i, j));
+    }
+    const auto out = c.evaluate(inputs);
+    const F2Matrix expect = f2_multiply_naive(a, b);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        EXPECT_EQ(out[static_cast<std::size_t>(i * n + j)], expect.get(i, j))
+            << "entry (" << i << "," << j << ") n=" << n << " strassen=" << strassen;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndAlgorithms, MmCircuitTest,
+    ::testing::Values(std::make_tuple(1, false), std::make_tuple(2, false),
+                      std::make_tuple(3, false), std::make_tuple(4, true),
+                      std::make_tuple(5, true), std::make_tuple(7, true),
+                      std::make_tuple(8, true)));
+
+TEST(MmCircuit, StrassenHasSubcubicWires) {
+  const std::size_t w16 = f2_matmul_circuit(16, true).num_wires();
+  const std::size_t w32 = f2_matmul_circuit(32, true).num_wires();
+  // Strassen growth factor per doubling is 7 (plus O(n^2) additions);
+  // naive would be 8. Accept anything clearly below 7.8.
+  const double factor = static_cast<double>(w32) / static_cast<double>(w16);
+  EXPECT_LT(factor, 7.8);
+  EXPECT_GT(factor, 5.0);
+}
+
+TEST(TriangleWitnessCircuit, SoundOnTriangleFree) {
+  Rng rng(5);
+  Circuit c = triangle_witness_circuit(8, 6, rng);
+  // Bipartite graph: no triangles; witness must be 0 for any masks.
+  Graph g = complete_bipartite(4, 4);
+  std::vector<bool> inputs(64, false);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      inputs[static_cast<std::size_t>(i * 8 + j)] = i != j && g.has_edge(i, j);
+    }
+  }
+  EXPECT_FALSE(c.evaluate(inputs)[0]);
+}
+
+TEST(TriangleWitnessCircuit, CompleteOnTriangles) {
+  Rng rng(6);
+  // K_8 has many triangles; with 8 reps failure prob (3/4)^8 < 0.1 per
+  // circuit; use 3 independent circuits to make the test robust.
+  Graph g = complete_graph(8);
+  std::vector<bool> inputs(64, false);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      inputs[static_cast<std::size_t>(i * 8 + j)] = i != j;
+    }
+  }
+  bool any = false;
+  for (int t = 0; t < 3 && !any; ++t) {
+    Circuit c = triangle_witness_circuit(8, 8, rng);
+    any = c.evaluate(inputs)[0];
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(Circuit, DagOrderEnforced) {
+  Circuit c;
+  EXPECT_THROW(c.add_not(0), PreconditionError);  // no gate 0 yet
+}
+
+}  // namespace
+}  // namespace cclique

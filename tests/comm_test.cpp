@@ -1,0 +1,233 @@
+// Tests for the communication engines: model semantics, bandwidth
+// enforcement, exact accounting, cut metering.
+#include <gtest/gtest.h>
+
+#include "comm/clique_broadcast.h"
+#include "comm/clique_unicast.h"
+#include "comm/congest.h"
+#include "comm/nof.h"
+#include "comm/two_party.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace cclique {
+namespace {
+
+Message bits_of(std::uint64_t v, int w) {
+  Message m;
+  m.push_uint(v, w);
+  return m;
+}
+
+TEST(CliqueUnicast, DeliversPointToPoint) {
+  CliqueUnicast net(4, 8);
+  std::vector<std::vector<std::uint64_t>> got(4, std::vector<std::uint64_t>(4, 0));
+  net.round(
+      [&](int i) {
+        std::vector<Message> box(4);
+        for (int j = 0; j < 4; ++j) {
+          if (j != i) box[static_cast<std::size_t>(j)] = bits_of(static_cast<std::uint64_t>(10 * i + j), 8);
+        }
+        return box;
+      },
+      [&](int r, const std::vector<Message>& inbox) {
+        for (int j = 0; j < 4; ++j) {
+          if (j != r) got[static_cast<std::size_t>(r)][static_cast<std::size_t>(j)] = inbox[static_cast<std::size_t>(j)].read_uint(0, 8);
+        }
+      });
+  for (int r = 0; r < 4; ++r) {
+    for (int j = 0; j < 4; ++j) {
+      if (j != r) EXPECT_EQ(got[static_cast<std::size_t>(r)][static_cast<std::size_t>(j)], static_cast<std::uint64_t>(10 * j + r));
+    }
+  }
+  EXPECT_EQ(net.stats().rounds, 1);
+  EXPECT_EQ(net.stats().total_bits, 12u * 8u);
+  EXPECT_EQ(net.stats().total_messages, 12u);
+}
+
+TEST(CliqueUnicast, BandwidthEnforced) {
+  CliqueUnicast net(3, 4);
+  EXPECT_THROW(net.round(
+                   [&](int i) {
+                     std::vector<Message> box(3);
+                     if (i == 0) box[1] = bits_of(0, 5);  // 5 > 4 bits
+                     return box;
+                   },
+                   [](int, const std::vector<Message>&) {}),
+               ModelViolation);
+}
+
+TEST(CliqueUnicast, SelfMessageRejected) {
+  CliqueUnicast net(3, 4);
+  EXPECT_THROW(net.round(
+                   [&](int i) {
+                     std::vector<Message> box(3);
+                     box[static_cast<std::size_t>(i)] = bits_of(1, 1);
+                     return box;
+                   },
+                   [](int, const std::vector<Message>&) {}),
+               ModelViolation);
+}
+
+TEST(CliqueUnicast, CutMetering) {
+  CliqueUnicast net(4, 8);
+  net.set_cut({0, 0, 1, 1});
+  net.round(
+      [&](int i) {
+        std::vector<Message> box(4);
+        for (int j = 0; j < 4; ++j) {
+          if (j != i) box[static_cast<std::size_t>(j)] = bits_of(0, 2);
+        }
+        return box;
+      },
+      [](int, const std::vector<Message>&) {});
+  // 8 of the 12 directed pairs cross the cut.
+  EXPECT_EQ(net.stats().cut_bits, 8u * 2u);
+}
+
+TEST(CliqueUnicast, PayloadHelperChunksAtBandwidth) {
+  CliqueUnicast net(3, 4);
+  std::vector<std::vector<Message>> payload(3, std::vector<Message>(3));
+  payload[0][1] = bits_of(0x3FF, 10);  // 10 bits -> 3 rounds at b=4
+  std::vector<std::vector<Message>> received;
+  const int rounds = unicast_payloads(net, payload, &received);
+  EXPECT_EQ(rounds, 3);
+  EXPECT_EQ(received[1][0].read_uint(0, 10), 0x3FFu);
+  EXPECT_EQ(net.stats().rounds, 3);
+}
+
+TEST(CliqueUnicast, PayloadHelperAllPairs) {
+  CliqueUnicast net(5, 7);
+  std::vector<std::vector<Message>> payload(5, std::vector<Message>(5));
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      if (i != j) payload[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = bits_of(static_cast<std::uint64_t>(i * 5 + j), 13);
+    }
+  }
+  std::vector<std::vector<Message>> received;
+  unicast_payloads(net, payload, &received);
+  for (int r = 0; r < 5; ++r) {
+    for (int j = 0; j < 5; ++j) {
+      if (j == r) continue;
+      EXPECT_EQ(received[static_cast<std::size_t>(r)][static_cast<std::size_t>(j)].read_uint(0, 13),
+                static_cast<std::uint64_t>(j * 5 + r));
+    }
+  }
+}
+
+TEST(CliqueBroadcast, BlackboardVisibleToAll) {
+  CliqueBroadcast net(3, 8);
+  const auto& board = net.round([&](int i) { return bits_of(static_cast<std::uint64_t>(i + 40), 8); });
+  ASSERT_EQ(board.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(board[static_cast<std::size_t>(i)].read_uint(0, 8), static_cast<std::uint64_t>(i + 40));
+  }
+  EXPECT_EQ(net.stats().rounds, 1);
+  EXPECT_EQ(net.stats().total_bits, 24u);
+}
+
+TEST(CliqueBroadcast, BandwidthEnforced) {
+  CliqueBroadcast net(3, 2);
+  EXPECT_THROW(net.round([&](int) { return bits_of(0, 3); }), ModelViolation);
+}
+
+TEST(CliqueBroadcast, PayloadChunking) {
+  CliqueBroadcast net(4, 3);
+  std::vector<Message> payloads(4);
+  payloads[2] = bits_of(0b1011011, 7);  // 7 bits at b=3 -> 3 rounds
+  int rounds = 0;
+  const auto assembled = broadcast_payloads(net, payloads, &rounds);
+  EXPECT_EQ(rounds, 3);
+  EXPECT_EQ(assembled[2].read_uint(0, 7), 0b1011011u);
+  EXPECT_TRUE(assembled[0].empty());
+}
+
+TEST(CliqueBroadcast, CutChargesEveryWrittenBit) {
+  CliqueBroadcast net(4, 8);
+  net.set_cut({0, 1, 0, 1});
+  net.round([&](int) { return bits_of(0, 5); });
+  EXPECT_EQ(net.stats().cut_bits, 4u * 5u);
+}
+
+TEST(Congest, OnlyGraphEdgesCarry) {
+  const Graph topo = path_graph(3);  // 0-1-2
+  CongestUnicast net(topo, 4);
+  std::vector<int> heard_by_2;
+  net.round(
+      [&](int v) {
+        std::vector<Message> box(static_cast<std::size_t>(topo.degree(v)));
+        for (std::size_t k = 0; k < box.size(); ++k) box[k] = bits_of(static_cast<std::uint64_t>(v), 2);
+        return box;
+      },
+      [&](int v, const std::vector<Message>& inbox) {
+        if (v != 2) return;
+        for (std::size_t k = 0; k < inbox.size(); ++k) {
+          heard_by_2.push_back(static_cast<int>(inbox[k].read_uint(0, 2)));
+        }
+      });
+  // Node 2 has a single neighbor: node 1.
+  EXPECT_EQ(heard_by_2, (std::vector<int>{1}));
+}
+
+TEST(Congest, OutboxSizeMustMatchDegree) {
+  CongestUnicast net(cycle_graph(4), 4);
+  EXPECT_THROW(net.round([&](int) { return std::vector<Message>(1); },
+                         [](int, const std::vector<Message>&) {}),
+               ModelViolation);
+}
+
+TEST(Congest, CutMetersOnlyCutEdges) {
+  const Graph topo = path_graph(4);  // 0-1-2-3
+  CongestUnicast net(topo, 8);
+  net.set_cut({0, 0, 1, 1});
+  net.round(
+      [&](int v) {
+        std::vector<Message> box(static_cast<std::size_t>(topo.degree(v)));
+        for (auto& m : box) m = bits_of(0, 3);
+        return box;
+      },
+      [](int, const std::vector<Message>&) {});
+  // Only edge 1-2 crosses; both directions carry 3 bits.
+  EXPECT_EQ(net.stats().cut_bits, 6u);
+}
+
+TEST(TwoParty, InstanceGenerators) {
+  Rng rng(1);
+  for (int t = 0; t < 20; ++t) {
+    EXPECT_TRUE(random_disjoint_instance(50, 0.4, rng).disjoint());
+    EXPECT_FALSE(random_intersecting_instance(50, 0.4, rng).disjoint());
+  }
+}
+
+TEST(TwoParty, TrivialProtocolCorrectAndMetered) {
+  Rng rng(2);
+  for (int t = 0; t < 20; ++t) {
+    DisjointnessInstance inst = random_disjointness(64, 0.1, rng);
+    TwoPartyChannel ch;
+    EXPECT_EQ(trivial_disjointness_protocol(inst, &ch), inst.disjoint());
+    EXPECT_EQ(ch.total_bits(), 65u);
+    EXPECT_EQ(ch.alice_bits(), 64u);
+    EXPECT_EQ(ch.bob_bits(), 1u);
+  }
+}
+
+TEST(Nof, InstanceGenerators) {
+  Rng rng(3);
+  for (int t = 0; t < 20; ++t) {
+    EXPECT_FALSE(random_nof_disjoint(40, 0.5, rng).intersecting());
+    EXPECT_TRUE(random_nof_intersecting(40, 0.5, rng).intersecting());
+  }
+}
+
+TEST(Nof, BlackboardAccounting) {
+  NofBlackboard board;
+  board.write(0, bits_of(0, 10));
+  board.write(1, bits_of(0, 5));
+  board.write(0, bits_of(0, 1));
+  EXPECT_EQ(board.total_bits(), 16u);
+  EXPECT_EQ(board.bits_by(0), 11u);
+  EXPECT_EQ(board.bits_by(2), 0u);
+}
+
+}  // namespace
+}  // namespace cclique

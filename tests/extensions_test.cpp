@@ -1,0 +1,276 @@
+// Tests for the extension protocols: CONGEST C4 detection (the paper's
+// full-version claim), MST and sorting on the clique (the related-work
+// workloads [30]/[32]/[28] the model is known for).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/congest_c4.h"
+#include "core/dlp_subgraph.h"
+#include "core/dlp_triangle.h"
+#include "core/mst.h"
+#include "core/sorting.h"
+#include "graph/extremal.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+#include "util/rng.h"
+
+namespace cclique {
+namespace {
+
+// ------------------------------------------------------------- CONGEST C4
+
+TEST(CongestC4, ExactOnRandomGraphs) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = gnp(24, 0.04 + 0.04 * trial, rng);
+    auto r = congest_c4_detect(g, 16);
+    EXPECT_EQ(r.detected, contains_cycle(g, 4)) << "trial " << trial;
+  }
+}
+
+TEST(CongestC4, SoundOnC4FreeExtremalGraphs) {
+  auto r = congest_c4_detect(polarity_graph(7), 16);
+  EXPECT_FALSE(r.detected);
+}
+
+TEST(CongestC4, CompleteOnPlantedC4) {
+  Rng rng(2);
+  Graph g = polarity_graph(5);
+  plant_subgraph(g, cycle_graph(4), rng);
+  auto r = congest_c4_detect(g, 16);
+  EXPECT_TRUE(r.detected);
+}
+
+TEST(CongestC4, HandlesDisconnectedAndTinyInputs) {
+  EXPECT_FALSE(congest_c4_detect(Graph(5), 8).detected);
+  EXPECT_FALSE(congest_c4_detect(path_graph(4), 8).detected);
+  EXPECT_TRUE(congest_c4_detect(cycle_graph(4), 8).detected);
+  EXPECT_FALSE(congest_c4_detect(cycle_graph(5), 8).detected);
+  EXPECT_TRUE(congest_c4_detect(complete_bipartite(2, 2), 8).detected);
+}
+
+TEST(CongestC4, RoundsTrackMaxDegreeTimesLogOverB) {
+  // The protocol's round count is ceil(max_deg * log n / b) + 0; on
+  // near-extremal C4-free inputs max_deg ~ sqrt(n), reproducing the paper's
+  // O(sqrt(n) log n / b) claim.
+  const Graph er = polarity_graph(11);  // n = 133, max_deg ~ q+1 = 12
+  const int b = 8;
+  auto r = congest_c4_detect(er, b);
+  const int addr = 8;  // bits_for(133)
+  EXPECT_EQ(r.stats.rounds, (r.max_degree * addr + b - 1) / b);
+  EXPECT_LE(r.max_degree, 12);
+}
+
+// ----------------------------------------------- general [8] detection
+
+class DlpSubgraphTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DlpSubgraphTest, MatchesGroundTruth) {
+  const int variant = GetParam();
+  Rng rng(50 + variant);
+  const Graph h = variant == 0   ? complete_graph(3)
+                  : variant == 1 ? cycle_graph(4)
+                  : variant == 2 ? complete_graph(4)
+                  : variant == 3 ? path_graph(4)
+                                 : star_graph(4);
+  for (int trial = 0; trial < 5; ++trial) {
+    const int n = 24;
+    Graph g = gnp(n, 0.04 + 0.06 * trial, rng);
+    CliqueUnicast net(n, 32);
+    auto r = dlp_subgraph_detect(net, g, h);
+    EXPECT_EQ(r.detected, contains_subgraph(g, h))
+        << "variant " << variant << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, DlpSubgraphTest, ::testing::Values(0, 1, 2, 3, 4));
+
+TEST(DlpSubgraph, AgreesWithTriangleSpecialization) {
+  Rng rng(60);
+  for (int trial = 0; trial < 5; ++trial) {
+    const int n = 20;
+    Graph g = gnp(n, 0.15, rng);
+    CliqueUnicast net1(n, 32), net2(n, 32);
+    EXPECT_EQ(dlp_subgraph_detect(net1, g, complete_graph(3)).detected,
+              dlp_triangle_detect(net2, g).detected);
+  }
+}
+
+TEST(DlpSubgraph, PlantedPatternAlwaysFound) {
+  Rng rng(61);
+  const Graph h = cycle_graph(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = gnp(30, 0.05, rng);
+    plant_subgraph(g, h, rng);
+    CliqueUnicast net(30, 32);
+    EXPECT_TRUE(dlp_subgraph_detect(net, g, h).detected);
+  }
+}
+
+TEST(DlpSubgraph, GroupCountScalesAsNPowerOneOverD) {
+  // t ~ n^{1/d}: for d=3, n=64 -> t around 5; for d=4 smaller.
+  Rng rng(62);
+  Graph g = gnp(64, 0.1, rng);
+  CliqueUnicast net3(64, 32), net4(64, 32);
+  auto r3 = dlp_subgraph_detect(net3, g, complete_graph(3));
+  auto r4 = dlp_subgraph_detect(net4, g, complete_graph(4));
+  EXPECT_GT(r3.groups, r4.groups);
+  EXPECT_GE(r3.groups, 4);
+}
+
+// -------------------------------------------------------------------- MST
+
+TEST(CliqueMst, MatchesKruskalOnRandomGraphs) {
+  Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n = 20;
+    Graph g = gnp(n, 0.3, rng);
+    std::vector<std::uint32_t> w(g.edges().size());
+    for (auto& x : w) x = static_cast<std::uint32_t>(rng.uniform(1000));
+    CliqueUnicast net(n, 64);
+    auto dist = clique_mst(net, g, w);
+    auto ref = kruskal_reference(g, w);
+    ASSERT_EQ(dist.tree.size(), ref.size()) << "trial " << trial;
+    for (std::size_t e = 0; e < ref.size(); ++e) {
+      EXPECT_EQ(dist.tree[e].u, ref[e].u);
+      EXPECT_EQ(dist.tree[e].v, ref[e].v);
+      EXPECT_EQ(dist.tree[e].weight, ref[e].weight);
+    }
+  }
+}
+
+TEST(CliqueMst, SpanningTreeOnConnectedInput) {
+  Rng rng(4);
+  const int n = 24;
+  Graph g = gnp(n, 0.4, rng);
+  std::vector<std::uint32_t> w(g.edges().size());
+  for (auto& x : w) x = static_cast<std::uint32_t>(rng.uniform(100000));
+  CliqueUnicast net(n, 64);
+  auto result = clique_mst(net, g, w);
+  EXPECT_EQ(result.tree.size(), static_cast<std::size_t>(n - 1));
+}
+
+TEST(CliqueMst, ForestOnDisconnectedInput) {
+  Graph g = complete_graph(5).disjoint_union(complete_graph(4));
+  std::vector<std::uint32_t> w(g.edges().size());
+  for (std::size_t e = 0; e < w.size(); ++e) w[e] = static_cast<std::uint32_t>(e);
+  CliqueUnicast net(9, 64);
+  auto result = clique_mst(net, g, w);
+  EXPECT_EQ(result.tree.size(), 7u);  // (5-1) + (4-1)
+}
+
+TEST(CliqueMst, LogarithmicPhases) {
+  Rng rng(5);
+  const int n = 32;
+  Graph g = complete_graph(n);
+  std::vector<std::uint32_t> w(g.edges().size());
+  for (auto& x : w) x = static_cast<std::uint32_t>(rng.uniform(1 << 20));
+  CliqueUnicast net(n, 64);
+  auto result = clique_mst(net, g, w);
+  EXPECT_LE(result.phases, 7) << "Borůvka halves fragments each phase";
+  EXPECT_EQ(result.tree.size(), static_cast<std::size_t>(n - 1));
+}
+
+TEST(CliqueMst, DuplicateWeightsHandledByTieBreak) {
+  Graph g = complete_graph(10);
+  std::vector<std::uint32_t> w(g.edges().size(), 7);  // all equal
+  CliqueUnicast net(10, 64);
+  auto result = clique_mst(net, g, w);
+  auto ref = kruskal_reference(g, w);
+  ASSERT_EQ(result.tree.size(), ref.size());
+  for (std::size_t e = 0; e < ref.size(); ++e) {
+    EXPECT_EQ(result.tree[e].u, ref[e].u);
+    EXPECT_EQ(result.tree[e].v, ref[e].v);
+  }
+}
+
+// ---------------------------------------------------------------- Sorting
+
+TEST(CliqueSort, SortsRandomInputs) {
+  Rng rng(6);
+  for (int trial = 0; trial < 6; ++trial) {
+    const int n = 12;
+    const std::size_t k = 16;
+    std::vector<std::vector<std::uint32_t>> inputs(n);
+    std::vector<std::uint32_t> all;
+    for (auto& block : inputs) {
+      block.resize(k);
+      for (auto& x : block) {
+        x = static_cast<std::uint32_t>(rng.uniform(1u << 30));
+        all.push_back(x);
+      }
+    }
+    CliqueUnicast net(n, 64);
+    auto result = clique_sort(net, inputs);
+    std::sort(all.begin(), all.end());
+    std::vector<std::uint32_t> got;
+    for (const auto& block : result.blocks) {
+      EXPECT_EQ(block.size(), k);
+      EXPECT_TRUE(std::is_sorted(block.begin(), block.end()));
+      for (auto x : block) got.push_back(x);
+    }
+    EXPECT_EQ(got, all) << "concatenated blocks must be the sorted sequence";
+  }
+}
+
+TEST(CliqueSort, HandlesDuplicatesAndSkew) {
+  Rng rng(7);
+  const int n = 8;
+  const std::size_t k = 10;
+  std::vector<std::vector<std::uint32_t>> inputs(n);
+  for (int i = 0; i < n; ++i) {
+    inputs[static_cast<std::size_t>(i)].assign(k, static_cast<std::uint32_t>(i % 3));
+  }
+  CliqueUnicast net(n, 64);
+  auto result = clique_sort(net, inputs);
+  std::vector<std::uint32_t> got;
+  for (const auto& block : result.blocks) {
+    for (auto x : block) got.push_back(x);
+  }
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+  EXPECT_EQ(got.size(), static_cast<std::size_t>(n) * k);
+}
+
+TEST(CliqueSort, AlreadySortedAndReversed) {
+  const int n = 6;
+  const std::size_t k = 8;
+  std::vector<std::vector<std::uint32_t>> fwd(n), rev(n);
+  std::uint32_t v = 0;
+  for (int i = 0; i < n; ++i) {
+    for (std::size_t t = 0; t < k; ++t) {
+      fwd[static_cast<std::size_t>(i)].push_back(v);
+      rev[static_cast<std::size_t>(n - 1 - i)].push_back(1000 - v);
+      ++v;
+    }
+  }
+  for (auto* inputs : {&fwd, &rev}) {
+    CliqueUnicast net(n, 64);
+    auto result = clique_sort(net, *inputs);
+    std::vector<std::uint32_t> got;
+    for (const auto& block : result.blocks) {
+      for (auto x : block) got.push_back(x);
+    }
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+  }
+}
+
+TEST(CliqueSort, ConstantPhaseRounds) {
+  // Rounds must not grow with n at fixed per-player load (the [28] shape).
+  Rng rng(8);
+  int rounds[2];
+  int idx = 0;
+  for (int n : {8, 24}) {
+    std::vector<std::vector<std::uint32_t>> inputs(static_cast<std::size_t>(n));
+    for (auto& block : inputs) {
+      block.resize(static_cast<std::size_t>(n));
+      for (auto& x : block) x = static_cast<std::uint32_t>(rng.uniform(1u << 20));
+    }
+    CliqueUnicast net(n, 64);
+    rounds[idx++] = clique_sort(net, inputs).stats.rounds;
+  }
+  EXPECT_LE(rounds[1], rounds[0] + 4) << "sorting rounds should be O(1)-ish in n";
+}
+
+}  // namespace
+}  // namespace cclique

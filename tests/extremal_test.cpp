@@ -1,0 +1,232 @@
+// Tests for the extremal constructions and the Turán machinery — the
+// combinatorial backbone of the Section 3 bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/degeneracy.h"
+#include "graph/extremal.h"
+#include "graph/generators.h"
+#include "graph/ruzsa_szemeredi.h"
+#include "graph/subgraph.h"
+#include "graph/turan.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace cclique {
+namespace {
+
+TEST(Turan, ChromaticNumbers) {
+  EXPECT_EQ(chromatic_number(complete_graph(5)), 5);
+  EXPECT_EQ(chromatic_number(cycle_graph(6)), 2);
+  EXPECT_EQ(chromatic_number(cycle_graph(7)), 3);
+  EXPECT_EQ(chromatic_number(complete_bipartite(3, 4)), 2);
+  EXPECT_EQ(chromatic_number(path_graph(5)), 2);
+  EXPECT_EQ(chromatic_number(Graph(3)), 1);
+}
+
+TEST(Turan, BipartitionSizes) {
+  int a = 0, b = 0;
+  EXPECT_TRUE(bipartition_sizes(complete_bipartite(3, 5), &a, &b));
+  EXPECT_EQ(a, 3);
+  EXPECT_EQ(b, 5);
+  EXPECT_FALSE(bipartition_sizes(complete_graph(3), &a, &b));
+  EXPECT_TRUE(bipartition_sizes(cycle_graph(8), &a, &b));
+  EXPECT_EQ(a, 4);
+  EXPECT_EQ(b, 4);
+}
+
+TEST(Turan, CliqueBoundIsExactTuran) {
+  // ex(n, K_3) = n^2/4.
+  const TuranBound b = turan_upper_bound(100, complete_graph(3));
+  EXPECT_TRUE(b.exact);
+  EXPECT_DOUBLE_EQ(b.value, 2500.0);
+}
+
+TEST(Turan, OddCycleBound) {
+  const TuranBound b = turan_upper_bound(60, cycle_graph(5));
+  EXPECT_TRUE(b.exact);
+  EXPECT_DOUBLE_EQ(b.value, 900.0);
+}
+
+TEST(Turan, C4BoundIsReiman) {
+  const TuranBound b = turan_upper_bound(1000, cycle_graph(4));
+  // Reiman: (1 + sqrt(3997)) * 250 ≈ 16055.
+  EXPECT_NEAR(b.value, (1.0 + std::sqrt(3997.0)) * 250.0, 1e-6);
+}
+
+TEST(Turan, ForestBoundLinear) {
+  const TuranBound b = turan_upper_bound(500, path_graph(4));  // 3-edge tree
+  EXPECT_LE(b.value, 3.0 * 500.0 + 1);
+}
+
+TEST(Turan, BoundsDominateTrueExtremalGraphs) {
+  // Any C4-free graph we can build must respect the C4 bound.
+  const Graph er = polarity_graph(7);
+  const TuranBound b =
+      turan_upper_bound(static_cast<std::uint64_t>(er.num_vertices()), cycle_graph(4));
+  EXPECT_GE(b.value, static_cast<double>(er.num_edges()));
+}
+
+TEST(Turan, Claim6CapHoldsOnHFreeGraphs) {
+  Rng rng(1);
+  // C4-free polarity graph: degeneracy <= 4 ex(n, C4)/n.
+  const Graph er = polarity_graph(11);
+  const int cap = degeneracy_cap_if_h_free(
+      static_cast<std::uint64_t>(er.num_vertices()), cycle_graph(4));
+  EXPECT_LE(compute_degeneracy(er).degeneracy, cap);
+  // Triangle-free bipartite graph vs K3 cap.
+  const Graph kb = complete_bipartite(20, 20);
+  const int cap3 = degeneracy_cap_if_h_free(40, complete_graph(3));
+  EXPECT_LE(compute_degeneracy(kb).degeneracy, cap3);
+  // Random H-free graphs: sample and reject.
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = gnp(40, 0.08, rng);
+    if (!contains_subgraph(g, complete_graph(4))) {
+      EXPECT_LE(compute_degeneracy(g).degeneracy,
+                degeneracy_cap_if_h_free(40, complete_graph(4)));
+    }
+  }
+}
+
+TEST(Extremal, TuranGraphIsExtremal) {
+  const Graph t = turan_graph(12, 3);
+  EXPECT_FALSE(contains_clique(t, 4));
+  EXPECT_TRUE(contains_clique(t, 3));
+  // Balanced 3-partite on 12: 3 * (4*4) = 48 edges.
+  EXPECT_EQ(t.num_edges(), 48u);
+}
+
+TEST(Extremal, PolarityGraphC4Free) {
+  for (std::uint64_t q : {2, 3, 5, 7}) {
+    const Graph er = polarity_graph(q);
+    EXPECT_EQ(er.num_vertices(), static_cast<int>(q * q + q + 1));
+    EXPECT_FALSE(contains_cycle(er, 4)) << "ER_" << q << " must be C4-free";
+    // Edge count ~ q(q+1)^2/2 (within the absolute-point correction).
+    const double expect = static_cast<double>(q) * (q + 1) * (q + 1) / 2.0;
+    EXPECT_NEAR(static_cast<double>(er.num_edges()), expect, expect * 0.25);
+  }
+}
+
+TEST(Extremal, PolarityGraphDensityIsThetaN32) {
+  const Graph er = polarity_graph(13);
+  const double n = er.num_vertices();
+  const double ratio = static_cast<double>(er.num_edges()) / std::pow(n, 1.5);
+  EXPECT_GT(ratio, 0.3);
+  EXPECT_LT(ratio, 0.7);
+}
+
+TEST(Extremal, IncidenceGraphGirthSix) {
+  for (std::uint64_t q : {2, 3, 5}) {
+    const Graph inc = incidence_graph_pg2(q);
+    EXPECT_EQ(inc.num_vertices(), static_cast<int>(2 * (q * q + q + 1)));
+    EXPECT_EQ(inc.num_edges(), (q + 1) * (q * q + q + 1));
+    EXPECT_EQ(girth(inc), 6);
+  }
+}
+
+TEST(Extremal, HighGirthGraphRespectsBound) {
+  Rng rng(2);
+  for (int g : {5, 6, 8}) {
+    const Graph hg = high_girth_graph(40, g, rng);
+    const int measured = girth(hg);
+    EXPECT_TRUE(measured == -1 || measured > g)
+        << "requested girth > " << g << ", got " << measured;
+    EXPECT_GT(hg.num_edges(), 40u / 2) << "greedy should pack many edges";
+  }
+}
+
+TEST(Extremal, DenseClFreeGraphIsClFree) {
+  // Exact structural witnesses per class (a generic backtracking search
+  // proving cycle *absence* is exponential; these checks are equivalent):
+  //  - l = 4: C4-free <=> every vertex pair has at most one common neighbor;
+  //  - odd l: the construction is bipartite, so it has no odd cycle at all;
+  //  - even l >= 6: the construction has girth > l.
+  Rng rng(3);
+  {
+    const Graph f = dense_cl_free_graph(40, 4, rng);
+    for (int u = 0; u < f.num_vertices(); ++u) {
+      for (int v = u + 1; v < f.num_vertices(); ++v) {
+        EXPECT_LE(f.common_neighbor_count(u, v), 1)
+            << "C4 witness at pair (" << u << "," << v << ")";
+      }
+    }
+    EXPECT_GT(f.num_edges(), 20u);
+  }
+  for (int l : {5, 7}) {
+    const Graph f = dense_cl_free_graph(40, l, rng);
+    int a = 0, b = 0;
+    EXPECT_TRUE(bipartition_sizes(f, &a, &b)) << "odd-l carrier must be bipartite";
+    EXPECT_GT(f.num_edges(), 20u);
+  }
+  for (int l : {6, 8}) {
+    const Graph f = dense_cl_free_graph(40, l, rng);
+    const int gi = girth(f);
+    EXPECT_TRUE(gi == -1 || gi > l) << "l = " << l << " girth " << gi;
+    EXPECT_GT(f.num_edges(), 20u);
+  }
+}
+
+TEST(Extremal, BipartiteC4FreeGraph) {
+  const Graph f = bipartite_c4_free_graph(40);
+  int a = 0, b = 0;
+  EXPECT_TRUE(bipartition_sizes(f, &a, &b));
+  EXPECT_FALSE(contains_cycle(f, 4));
+  EXPECT_GT(f.num_edges(), 40u);
+}
+
+TEST(Behrend, SetsAreProgressionFree) {
+  for (std::uint64_t m : {10, 100, 1000, 5000}) {
+    const auto s = behrend_set(m);
+    EXPECT_TRUE(is_progression_free(s));
+    EXPECT_FALSE(s.empty());
+    for (std::uint64_t v : s) EXPECT_LT(v, m);
+  }
+}
+
+TEST(Behrend, DetectsPlantedProgression) {
+  EXPECT_FALSE(is_progression_free({1, 3, 5}));
+  EXPECT_TRUE(is_progression_free({1, 2, 4, 8}));
+  EXPECT_FALSE(is_progression_free({0, 4, 8}));
+}
+
+TEST(Behrend, DensityBeatsTrivial) {
+  // Behrend/greedy sets should be much larger than the sqrt(m) baseline.
+  const auto s = behrend_set(2000);
+  EXPECT_GT(s.size(), static_cast<std::size_t>(std::sqrt(2000.0)));
+}
+
+TEST(RuzsaSzemeredi, EveryEdgeInExactlyOneTriangle) {
+  for (int m : {5, 20, 60}) {
+    const auto rs = ruzsa_szemeredi_graph(m);
+    // The canonical triangles are edge-disjoint and cover all edges:
+    // 3 * #triangles == #edges.
+    EXPECT_EQ(3 * rs.triangles.size(), rs.graph.num_edges());
+    // And they are ALL the triangles of the graph.
+    EXPECT_EQ(count_triangles(rs.graph), rs.triangles.size());
+    for (const Triangle& t : rs.triangles) {
+      EXPECT_TRUE(rs.graph.has_edge(t.a, t.b));
+      EXPECT_TRUE(rs.graph.has_edge(t.b, t.c));
+      EXPECT_TRUE(rs.graph.has_edge(t.a, t.c));
+    }
+  }
+}
+
+TEST(RuzsaSzemeredi, TriangleCountMatchesFormula) {
+  const int m = 50;
+  const auto rs = ruzsa_szemeredi_graph(m);
+  EXPECT_EQ(rs.triangles.size(), static_cast<std::size_t>(m) * behrend_set(m).size());
+  EXPECT_EQ(rs.graph.num_vertices(), 6 * m);
+}
+
+TEST(RuzsaSzemeredi, Tripartite) {
+  const auto rs = ruzsa_szemeredi_graph(20);
+  const int m = rs.m;
+  for (const Edge& e : rs.graph.edges()) {
+    auto part = [&](int v) { return v < m ? 0 : (v < 3 * m ? 1 : 2); };
+    EXPECT_NE(part(e.u), part(e.v)) << "parts must be independent sets";
+  }
+}
+
+}  // namespace
+}  // namespace cclique

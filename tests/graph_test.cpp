@@ -1,0 +1,265 @@
+// Unit tests for the graph substrate: core structure, generators,
+// degeneracy, Lemma 8 sampling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/degeneracy.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/sampling.h"
+#include "util/rng.h"
+
+namespace cclique {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g(5);
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+TEST(Graph, AddEdgeIsSymmetricAndIdempotent) {
+  Graph g(4);
+  EXPECT_TRUE(g.add_edge(1, 3));
+  EXPECT_FALSE(g.add_edge(3, 1));
+  EXPECT_TRUE(g.has_edge(1, 3));
+  EXPECT_TRUE(g.has_edge(3, 1));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, SelfLoopRejected) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(2, 2), PreconditionError);
+}
+
+TEST(Graph, RemoveEdge) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.remove_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.remove_edge(0, 1));
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, NeighborsSorted) {
+  Graph g(5);
+  g.add_edge(2, 4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  EXPECT_EQ(g.neighbors(2), (std::vector<int>{0, 3, 4}));
+  EXPECT_EQ(g.degree(2), 3);
+}
+
+TEST(Graph, EdgesCanonicalOrder) {
+  Graph g(4);
+  g.add_edge(3, 1);
+  g.add_edge(0, 2);
+  auto e = g.edges();
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_EQ(e[0], Edge(0, 2));
+  EXPECT_EQ(e[1], Edge(1, 3));
+}
+
+TEST(Graph, InducedSubgraph) {
+  Graph g = complete_graph(5);
+  Graph sub = g.induced_subgraph({0, 2, 4});
+  EXPECT_EQ(sub.num_vertices(), 3);
+  EXPECT_EQ(sub.num_edges(), 3u);
+}
+
+TEST(Graph, RelabelPreservesStructure) {
+  Rng rng(1);
+  Graph g = gnp(20, 0.3, rng);
+  std::vector<int> perm(20);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.shuffle(perm);
+  Graph h = g.relabeled(perm);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (const Edge& e : g.edges()) {
+    EXPECT_TRUE(h.has_edge(perm[static_cast<std::size_t>(e.u)],
+                           perm[static_cast<std::size_t>(e.v)]));
+  }
+}
+
+TEST(Graph, DisjointUnion) {
+  Graph a = complete_graph(3);
+  Graph b = cycle_graph(4);
+  Graph u = a.disjoint_union(b);
+  EXPECT_EQ(u.num_vertices(), 7);
+  EXPECT_EQ(u.num_edges(), a.num_edges() + b.num_edges());
+  EXPECT_TRUE(u.has_edge(0, 1));
+  EXPECT_TRUE(u.has_edge(3, 4));
+  EXPECT_FALSE(u.has_edge(0, 3));
+}
+
+TEST(Graph, CommonNeighborCount) {
+  Graph g(5);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  g.add_edge(1, 4);
+  EXPECT_EQ(g.common_neighbor_count(0, 1), 2);
+}
+
+TEST(Generators, CompleteGraph) {
+  Graph g = complete_graph(6);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_EQ(g.max_degree(), 5);
+}
+
+TEST(Generators, CycleAndPath) {
+  EXPECT_EQ(cycle_graph(5).num_edges(), 5u);
+  EXPECT_EQ(path_graph(5).num_edges(), 4u);
+  EXPECT_EQ(star_graph(5).degree(0), 4);
+}
+
+TEST(Generators, CompleteBipartite) {
+  Graph g = complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_vertices(), 7);
+  EXPECT_EQ(g.num_edges(), 12u);
+  EXPECT_FALSE(g.has_edge(0, 1));  // within left side
+  EXPECT_TRUE(g.has_edge(0, 3));
+}
+
+TEST(Generators, GnpExtremes) {
+  Rng rng(2);
+  EXPECT_EQ(gnp(10, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(gnp(10, 1.0, rng).num_edges(), 45u);
+}
+
+TEST(Generators, GnpDensity) {
+  Rng rng(3);
+  Graph g = gnp(60, 0.25, rng);
+  const double expect = 0.25 * 60 * 59 / 2;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expect, expect * 0.25);
+}
+
+TEST(Generators, GnmExactCount) {
+  Rng rng(4);
+  EXPECT_EQ(gnm(20, 57, rng).num_edges(), 57u);
+  EXPECT_EQ(gnm(10, 45, rng).num_edges(), 45u);  // complete
+  EXPECT_EQ(gnm(10, 40, rng).num_edges(), 40u);  // dense path
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  Rng rng(5);
+  for (int n : {1, 2, 3, 10, 50}) {
+    Graph t = random_tree(n, rng);
+    EXPECT_EQ(t.num_edges(), static_cast<std::size_t>(n - 1));
+    // Connectivity via peeling: a tree has degeneracy 1.
+    if (n >= 2) EXPECT_EQ(compute_degeneracy(t).degeneracy, 1);
+  }
+}
+
+TEST(Generators, PlantSubgraphCreatesCopy) {
+  Rng rng(6);
+  Graph g(20);
+  Graph h = complete_graph(4);
+  auto image = plant_subgraph(g, h, rng);
+  ASSERT_EQ(image.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      EXPECT_TRUE(g.has_edge(image[i], image[j]));
+    }
+  }
+}
+
+TEST(Degeneracy, EmptyAndSingleton) {
+  EXPECT_EQ(compute_degeneracy(Graph(0)).degeneracy, 0);
+  EXPECT_EQ(compute_degeneracy(Graph(1)).degeneracy, 0);
+}
+
+TEST(Degeneracy, KnownValues) {
+  EXPECT_EQ(compute_degeneracy(complete_graph(7)).degeneracy, 6);
+  EXPECT_EQ(compute_degeneracy(cycle_graph(9)).degeneracy, 2);
+  EXPECT_EQ(compute_degeneracy(path_graph(9)).degeneracy, 1);
+  EXPECT_EQ(compute_degeneracy(star_graph(9)).degeneracy, 1);
+  EXPECT_EQ(compute_degeneracy(complete_bipartite(3, 8)).degeneracy, 3);
+}
+
+TEST(Degeneracy, OrderIsWitness) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = gnp(40, 0.2, rng);
+    auto res = compute_degeneracy(g);
+    EXPECT_TRUE(is_elimination_order(g, res.order, res.degeneracy));
+    // Minimality: no witness for k-1 should follow from the definition;
+    // check the weaker sanity that a too-small k fails for this order.
+    if (res.degeneracy > 0) {
+      EXPECT_FALSE(is_elimination_order(g, res.order, res.degeneracy - 1) &&
+                   true)
+          << "bucket order should be tight for its own degeneracy";
+    }
+  }
+}
+
+TEST(Degeneracy, MonotoneUnderSubgraphs) {
+  Rng rng(8);
+  Graph g = gnp(30, 0.3, rng);
+  const int k = compute_degeneracy(g).degeneracy;
+  std::vector<int> some(15);
+  std::iota(some.begin(), some.end(), 0);
+  EXPECT_LE(compute_degeneracy(g.induced_subgraph(some)).degeneracy, k);
+}
+
+TEST(Sampling, LevelZeroIsIdentity) {
+  Rng rng(9);
+  Graph g = gnp(30, 0.4, rng);
+  auto x = draw_sampling_values(30, rng);
+  EXPECT_EQ(mod_sampled_subgraph(g, x, 0), g);
+}
+
+TEST(Sampling, LevelsAreNested) {
+  Rng rng(10);
+  Graph g = gnp(40, 0.5, rng);
+  auto x = draw_sampling_values(40, rng);
+  auto levels = mod_sampled_hierarchy(g, x);
+  for (std::size_t j = 1; j < levels.size(); ++j) {
+    for (const Edge& e : levels[j].edges()) {
+      EXPECT_TRUE(levels[j - 1].has_edge(e.u, e.v))
+          << "G_" << j << " must be a subgraph of G_" << j - 1;
+    }
+  }
+}
+
+TEST(Sampling, EdgeSurvivalRateNearTwoPowMinusJ) {
+  Rng rng(11);
+  Graph g = complete_graph(64);
+  double total0 = 0, total2 = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    auto x = draw_sampling_values(64, rng);
+    total0 += static_cast<double>(mod_sampled_subgraph(g, x, 1).num_edges());
+    total2 += static_cast<double>(mod_sampled_subgraph(g, x, 2).num_edges());
+  }
+  const double m = static_cast<double>(g.num_edges());
+  EXPECT_NEAR(total0 / trials / m, 0.5, 0.05);
+  EXPECT_NEAR(total2 / trials / m, 0.25, 0.05);
+}
+
+// Lemma 8 headline property: degeneracy of G_j concentrates around k 2^-j
+// while k 2^-j stays above the log n noise floor.
+TEST(Sampling, Lemma8DegeneracyConcentration) {
+  Rng rng(12);
+  // A graph with large, well-defined degeneracy: K_48 plus a sparse fringe.
+  Graph g = complete_graph(48).disjoint_union(path_graph(16));
+  const int k = compute_degeneracy(g).degeneracy;
+  ASSERT_EQ(k, 47);
+  double ratio_sum = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    auto x = draw_sampling_values(g.num_vertices(), rng);
+    const int kj = compute_degeneracy(mod_sampled_subgraph(g, x, 1)).degeneracy;
+    ratio_sum += static_cast<double>(kj) / (static_cast<double>(k) / 2.0);
+  }
+  // Concentration is modest at this scale; 0.9..1.1 is the paper's w.h.p.
+  // band for k 2^-j >= c log n, we allow a wider empirical band.
+  EXPECT_NEAR(ratio_sum / trials, 1.0, 0.25);
+}
+
+}  // namespace
+}  // namespace cclique

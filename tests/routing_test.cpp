@@ -1,0 +1,206 @@
+// Tests for the routing substrate — correctness of all three routers and
+// the balanced-demand round bounds the Theorem 2 simulation relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "routing/router.h"
+#include "util/rng.h"
+
+namespace cclique {
+namespace {
+
+// Sorts delivered (source, payload) pairs for comparison.
+using Delivered = std::vector<std::vector<std::pair<int, std::uint64_t>>>;
+
+std::multiset<std::tuple<int, int, std::uint64_t>> flatten(const RoutingDemand& d) {
+  std::multiset<std::tuple<int, int, std::uint64_t>> out;
+  for (const auto& m : d.messages) out.insert({m.dest, m.source, m.payload});
+  return out;
+}
+
+std::multiset<std::tuple<int, int, std::uint64_t>> flatten(const Delivered& del) {
+  std::multiset<std::tuple<int, int, std::uint64_t>> out;
+  for (std::size_t v = 0; v < del.size(); ++v) {
+    for (const auto& [src, payload] : del[v]) {
+      out.insert({static_cast<int>(v), src, payload});
+    }
+  }
+  return out;
+}
+
+RoutingDemand random_balanced_demand(int n, int per_player, int width, Rng& rng) {
+  RoutingDemand d;
+  d.payload_bits = width;
+  // Per-player out quota exactly per_player; destinations drawn from a
+  // random permutation-of-slots construction keeping in-load balanced too.
+  std::vector<int> dest_slots;
+  for (int v = 0; v < n; ++v) {
+    for (int k = 0; k < per_player; ++k) dest_slots.push_back(v);
+  }
+  rng.shuffle(dest_slots);
+  std::size_t cursor = 0;
+  for (int v = 0; v < n; ++v) {
+    for (int k = 0; k < per_player; ++k) {
+      d.messages.push_back(RoutedMessage{
+          v, dest_slots[cursor++],
+          rng.uniform(width >= 64 ? ~0ULL : (1ULL << width))});
+    }
+  }
+  return d;
+}
+
+TEST(Routing, DemandLoadHelpers) {
+  RoutingDemand d;
+  d.payload_bits = 4;
+  d.messages = {{0, 1, 5}, {0, 2, 6}, {1, 2, 7}};
+  EXPECT_EQ(d.max_out(3), 2u);
+  EXPECT_EQ(d.max_in(3), 2u);
+}
+
+TEST(Routing, DirectDeliversEverything) {
+  Rng rng(1);
+  CliqueUnicast net(6, 8);
+  RoutingDemand d = random_balanced_demand(6, 4, 8, rng);
+  RoutingResult r = route_direct(net, d);
+  EXPECT_EQ(flatten(r.delivered), flatten(d));
+}
+
+TEST(Routing, TwoPhaseDeliversEverything) {
+  Rng rng(2);
+  for (int trial = 0; trial < 5; ++trial) {
+    CliqueUnicast net(8, 16);
+    RoutingDemand d = random_balanced_demand(8, 6, 10, rng);
+    RoutingResult r = route_two_phase(net, d);
+    EXPECT_EQ(flatten(r.delivered), flatten(d));
+  }
+}
+
+TEST(Routing, ValiantDeliversEverything) {
+  Rng rng(3);
+  CliqueUnicast net(8, 16);
+  RoutingDemand d = random_balanced_demand(8, 6, 10, rng);
+  RoutingResult r = route_valiant(net, d, rng);
+  EXPECT_EQ(flatten(r.delivered), flatten(d));
+}
+
+TEST(Routing, EmptyDemand) {
+  CliqueUnicast net(4, 8);
+  RoutingDemand d;
+  d.payload_bits = 4;
+  RoutingResult r = route_two_phase(net, d);
+  EXPECT_EQ(r.rounds, 0);
+  for (const auto& v : r.delivered) EXPECT_TRUE(v.empty());
+}
+
+TEST(Routing, SelfMessagesDeliveredLocally) {
+  CliqueUnicast net(3, 8);
+  RoutingDemand d;
+  d.payload_bits = 5;
+  d.messages = {{1, 1, 17}, {2, 0, 9}};
+  RoutingResult r = route_direct(net, d);
+  ASSERT_EQ(r.delivered[1].size(), 1u);
+  EXPECT_EQ(r.delivered[1][0].second, 17u);
+}
+
+TEST(Routing, PayloadWidthValidated) {
+  CliqueUnicast net(3, 8);
+  RoutingDemand d;
+  d.payload_bits = 3;
+  d.messages = {{0, 1, 9}};  // 9 needs 4 bits
+  EXPECT_THROW(route_direct(net, d), PreconditionError);
+}
+
+// The headline property: hot-pair demands (all of one player's messages to
+// a single destination) sink the direct router but stay O(c) for the
+// two-phase router.
+TEST(Routing, TwoPhaseSpreadsHotPairs) {
+  const int n = 16;
+  RoutingDemand d;
+  d.payload_bits = 8;
+  // Player 0 sends n messages, all to player 1 (in-load of 1 is n = c*n
+  // with c=1; out-load of 0 is n).
+  for (int k = 0; k < n; ++k) {
+    d.messages.push_back(RoutedMessage{0, 1, static_cast<std::uint64_t>(k)});
+  }
+  CliqueUnicast direct_net(n, 16);
+  const int direct_rounds = route_direct(direct_net, d).rounds;
+  CliqueUnicast relay_net(n, 16);
+  const int relay_rounds = route_two_phase(relay_net, d).rounds;
+  EXPECT_GE(direct_rounds, n / 2) << "direct routing must serialize the hot pair";
+  EXPECT_LE(relay_rounds, 6) << "two-phase routing must spread the hot pair";
+}
+
+// Deterministic O(c) bound: for c-balanced demands the two-phase router's
+// rounds must not grow with n (at fixed record width / bandwidth ratio).
+TEST(Routing, TwoPhaseRoundsScaleWithLoadNotSize) {
+  Rng rng(5);
+  std::map<int, int> rounds_by_n;
+  for (int n : {8, 16, 32}) {
+    CliqueUnicast net(n, 32);
+    RoutingDemand d = random_balanced_demand(n, 2 * n, 8, rng);  // c = 2
+    rounds_by_n[n] = route_two_phase(net, d).rounds;
+  }
+  // Allow slack of 2 rounds for addressing-width growth.
+  EXPECT_LE(rounds_by_n[32], rounds_by_n[8] + 2)
+      << "two-phase rounds should be O(c), not O(n)";
+}
+
+TEST(Routing, TwoPhaseRoundsGrowLinearlyInC) {
+  Rng rng(6);
+  const int n = 12;
+  std::vector<int> rounds;
+  for (int c : {1, 2, 4}) {
+    CliqueUnicast net(n, 32);
+    RoutingDemand d = random_balanced_demand(n, c * n, 8, rng);
+    rounds.push_back(route_two_phase(net, d).rounds);
+  }
+  EXPECT_LT(rounds[2], 8 * rounds[0] + 8) << "rounds should track c roughly linearly";
+  EXPECT_GT(rounds[2], rounds[0]) << "more load must cost more rounds";
+}
+
+TEST(Routing, ValiantNearBalanced) {
+  Rng rng(7);
+  const int n = 16;
+  CliqueUnicast net(n, 32);
+  RoutingDemand d = random_balanced_demand(n, n, 8, rng);  // c = 1
+  RoutingResult r = route_valiant(net, d, rng);
+  EXPECT_LE(r.rounds, 16) << "valiant should stay near O(c + log n / log log n)";
+}
+
+TEST(Routing, DeterministicScheduleIsReproducible) {
+  Rng rng(8);
+  RoutingDemand d = random_balanced_demand(8, 8, 8, rng);
+  CliqueUnicast net1(8, 16), net2(8, 16);
+  RoutingResult r1 = route_two_phase(net1, d);
+  RoutingResult r2 = route_two_phase(net2, d);
+  EXPECT_EQ(r1.rounds, r2.rounds);
+  EXPECT_EQ(flatten(r1.delivered), flatten(r2.delivered));
+  EXPECT_EQ(net1.stats().total_bits, net2.stats().total_bits);
+}
+
+TEST(Routing, DuplicatePayloadsSurvive) {
+  // Identical (source, dest, payload) triples must all arrive (multiset
+  // semantics) — the circuit simulator relies on counts.
+  CliqueUnicast net(4, 16);
+  RoutingDemand d;
+  d.payload_bits = 4;
+  d.messages = {{0, 2, 7}, {0, 2, 7}, {0, 2, 7}};
+  RoutingResult r = route_two_phase(net, d);
+  EXPECT_EQ(r.delivered[2].size(), 3u);
+}
+
+TEST(Routing, BandwidthOneStillCorrect) {
+  Rng rng(9);
+  CliqueUnicast net(5, 1);
+  RoutingDemand d = random_balanced_demand(5, 3, 4, rng);
+  RoutingResult r = route_two_phase(net, d);
+  EXPECT_EQ(flatten(r.delivered), flatten(d));
+  EXPECT_GT(r.rounds, 4) << "b=1 must chunk multi-bit records over rounds";
+}
+
+}  // namespace
+}  // namespace cclique

@@ -1,0 +1,149 @@
+// Tests for the Becker-et-al. one-round reconstruction sketches.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/degeneracy.h"
+#include "graph/extremal.h"
+#include "graph/generators.h"
+#include "sketch/sketch.h"
+#include "util/rng.h"
+
+namespace cclique {
+namespace {
+
+std::vector<NodeSketch> all_sketches(const Graph& g, int k) {
+  std::vector<NodeSketch> s;
+  for (int v = 0; v < g.num_vertices(); ++v) s.push_back(make_sketch(g, v, k));
+  return s;
+}
+
+TEST(Sketch, BitSizeIsOKLogN) {
+  EXPECT_EQ(sketch_bits(3, 100), static_cast<std::size_t>(7 + 6 * 61));
+  // Doubling k doubles the field part.
+  EXPECT_GT(sketch_bits(8, 100), 2 * sketch_bits(4, 100) - 10);
+}
+
+TEST(Decode, EmptySet) {
+  auto r = decode_power_sums(std::vector<std::uint64_t>(6, 0), 0, 50);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(Decode, SingleElement) {
+  Graph g(10);
+  g.add_edge(3, 7);
+  const NodeSketch s = make_sketch(g, 3, 2);
+  auto r = decode_power_sums(s.power_sums, s.degree, 10);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, (std::vector<int>{7}));
+}
+
+TEST(Decode, FullNeighborhoods) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = gnp(30, 0.15, rng);
+    const int k = g.max_degree();
+    for (int v = 0; v < 30; ++v) {
+      const NodeSketch s = make_sketch(g, v, std::max(1, k));
+      auto r = decode_power_sums(s.power_sums, s.degree, 30);
+      ASSERT_TRUE(r.has_value()) << "vertex " << v;
+      auto expect = g.neighbors(v);
+      std::sort(r->begin(), r->end());
+      EXPECT_EQ(*r, expect);
+    }
+  }
+}
+
+TEST(Decode, RejectsWrongCount) {
+  Graph g(10);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  const NodeSketch s = make_sketch(g, 0, 3);
+  // Claiming degree 3 against a 2-neighbor sketch must fail verification.
+  EXPECT_FALSE(decode_power_sums(s.power_sums, 3, 10).has_value());
+}
+
+TEST(Reconstruction, ExactOnLowDegeneracyGraphs) {
+  Rng rng(2);
+  // Trees (degeneracy 1), cycles (2), and sparse random graphs.
+  std::vector<Graph> cases;
+  cases.push_back(random_tree(40, rng));
+  cases.push_back(cycle_graph(35));
+  cases.push_back(gnp(40, 0.05, rng));
+  cases.push_back(star_graph(25));
+  for (const Graph& g : cases) {
+    const int k = std::max(1, compute_degeneracy(g).degeneracy);
+    auto result = reconstruct_from_sketches(all_sketches(g, k), k, g.num_vertices());
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(result.graph, g);
+  }
+}
+
+TEST(Reconstruction, ExactAtParameterEqualToDegeneracy) {
+  Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    Graph g = gnp(30, 0.12, rng);
+    const int k = std::max(1, compute_degeneracy(g).degeneracy);
+    auto result = reconstruct_from_sketches(all_sketches(g, k), k, 30);
+    ASSERT_TRUE(result.success) << "k = degeneracy must always succeed";
+    EXPECT_EQ(result.graph, g);
+  }
+}
+
+TEST(Reconstruction, FailsSoundlyWhenParameterTooSmall) {
+  // K_12 has degeneracy 11; parameter 3 must fail (and not hallucinate).
+  Graph g = complete_graph(12);
+  auto result = reconstruct_from_sketches(all_sketches(g, 3), 3, 12);
+  EXPECT_FALSE(result.success);
+}
+
+TEST(Reconstruction, SucceedsAboveDegeneracy) {
+  Rng rng(4);
+  Graph g = gnp(25, 0.2, rng);
+  const int k = compute_degeneracy(g).degeneracy;
+  auto result = reconstruct_from_sketches(all_sketches(g, k + 3), k + 3, 25);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.graph, g);
+}
+
+TEST(Reconstruction, PolarityGraphRoundTrip) {
+  // The C4-free workhorse of Theorem 7: moderately dense, degeneracy ~ q.
+  const Graph er = polarity_graph(5);
+  const int k = compute_degeneracy(er).degeneracy;
+  auto result =
+      reconstruct_from_sketches(all_sketches(er, k), k, er.num_vertices());
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.graph, er);
+}
+
+TEST(Reconstruction, EmptyAndTinyGraphs) {
+  Graph empty(5);
+  auto r1 = reconstruct_from_sketches(all_sketches(empty, 1), 1, 5);
+  ASSERT_TRUE(r1.success);
+  EXPECT_EQ(r1.graph.num_edges(), 0u);
+
+  Graph single(2);
+  single.add_edge(0, 1);
+  auto r2 = reconstruct_from_sketches(all_sketches(single, 1), 1, 2);
+  ASSERT_TRUE(r2.success);
+  EXPECT_TRUE(r2.graph.has_edge(0, 1));
+}
+
+// Parameterized sweep: reconstruction across densities at matching k.
+class ReconstructionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ReconstructionSweep, RoundTrips) {
+  Rng rng(static_cast<std::uint64_t>(GetParam() * 1000));
+  Graph g = gnp(36, GetParam(), rng);
+  const int k = std::max(1, compute_degeneracy(g).degeneracy);
+  auto result = reconstruct_from_sketches(all_sketches(g, k), k, 36);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.graph, g);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, ReconstructionSweep,
+                         ::testing::Values(0.02, 0.05, 0.1, 0.2, 0.35, 0.5));
+
+}  // namespace
+}  // namespace cclique

@@ -1,0 +1,160 @@
+// Tests for exact subgraph search — the ground-truth oracle for every
+// protocol in the library.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/subgraph.h"
+#include "util/rng.h"
+
+namespace cclique {
+namespace {
+
+TEST(Triangles, CountOnKnownGraphs) {
+  EXPECT_EQ(count_triangles(complete_graph(3)), 1u);
+  EXPECT_EQ(count_triangles(complete_graph(5)), 10u);
+  EXPECT_EQ(count_triangles(complete_graph(8)), 56u);
+  EXPECT_EQ(count_triangles(cycle_graph(4)), 0u);
+  EXPECT_EQ(count_triangles(complete_bipartite(4, 4)), 0u);
+  EXPECT_EQ(count_triangles(path_graph(10)), 0u);
+}
+
+TEST(Triangles, ListMatchesCount) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = gnp(25, 0.3, rng);
+    auto tris = list_triangles(g);
+    EXPECT_EQ(tris.size(), count_triangles(g));
+    for (const Triangle& t : tris) {
+      EXPECT_LT(t.a, t.b);
+      EXPECT_LT(t.b, t.c);
+      EXPECT_TRUE(g.has_edge(t.a, t.b));
+      EXPECT_TRUE(g.has_edge(t.b, t.c));
+      EXPECT_TRUE(g.has_edge(t.a, t.c));
+    }
+  }
+}
+
+TEST(Cliques, DetectionMatchesConstruction) {
+  EXPECT_TRUE(contains_clique(complete_graph(6), 6));
+  EXPECT_FALSE(contains_clique(complete_graph(6), 7));
+  EXPECT_TRUE(contains_clique(complete_graph(6), 3));
+  EXPECT_FALSE(contains_clique(complete_bipartite(5, 5), 3));
+  EXPECT_FALSE(contains_clique(cycle_graph(5), 3));
+}
+
+TEST(Cliques, PlantedCliqueFound) {
+  Rng rng(2);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = gnp(30, 0.1, rng);
+    Graph k5 = complete_graph(5);
+    plant_subgraph(g, k5, rng);
+    EXPECT_TRUE(contains_clique(g, 5));
+  }
+}
+
+TEST(SubgraphSearch, MatchesCliqueSpecialization) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = gnp(18, 0.4, rng);
+    for (int k = 3; k <= 5; ++k) {
+      EXPECT_EQ(contains_subgraph(g, complete_graph(k)), contains_clique(g, k));
+    }
+  }
+}
+
+TEST(SubgraphSearch, EmbeddingIsValid) {
+  Rng rng(4);
+  Graph g = gnp(20, 0.35, rng);
+  Graph h = cycle_graph(5);
+  plant_subgraph(g, h, rng);
+  auto emb = find_subgraph(g, h);
+  ASSERT_TRUE(emb.has_value());
+  for (const Edge& e : h.edges()) {
+    EXPECT_TRUE(g.has_edge((*emb)[static_cast<std::size_t>(e.u)],
+                           (*emb)[static_cast<std::size_t>(e.v)]));
+  }
+}
+
+TEST(SubgraphSearch, DisconnectedPattern) {
+  // Two disjoint edges as a pattern.
+  Graph h(4);
+  h.add_edge(0, 1);
+  h.add_edge(2, 3);
+  Graph g = path_graph(5);  // contains 2 disjoint edges
+  EXPECT_TRUE(contains_subgraph(g, h));
+  Graph small = path_graph(3);  // only 2 adjacent edges
+  EXPECT_FALSE(contains_subgraph(small, h));
+}
+
+TEST(SubgraphSearch, TriangleCountViaEmbeddings) {
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = gnp(14, 0.4, rng);
+    // Each triangle has 3! = 6 labelled embeddings.
+    EXPECT_EQ(count_subgraph_embeddings(g, complete_graph(3)),
+              6 * count_triangles(g));
+  }
+}
+
+TEST(SubgraphSearch, StarRequiresDegree) {
+  Graph g = path_graph(10);
+  EXPECT_TRUE(contains_subgraph(g, star_graph(3)));   // needs degree 2
+  EXPECT_FALSE(contains_subgraph(g, star_graph(4)));  // needs degree 3
+}
+
+TEST(Cycles, DetectionOnKnownGraphs) {
+  EXPECT_TRUE(contains_cycle(cycle_graph(7), 7));
+  EXPECT_FALSE(contains_cycle(cycle_graph(7), 5));
+  EXPECT_FALSE(contains_cycle(cycle_graph(7), 6));
+  // C4 inside K_{2,3}.
+  EXPECT_TRUE(contains_cycle(complete_bipartite(2, 3), 4));
+  EXPECT_FALSE(contains_cycle(complete_bipartite(2, 3), 5));
+  // K5 contains all cycle lengths 3..5.
+  for (int l = 3; l <= 5; ++l) EXPECT_TRUE(contains_cycle(complete_graph(5), l));
+}
+
+TEST(Girth, KnownValues) {
+  EXPECT_EQ(girth(cycle_graph(9)), 9);
+  EXPECT_EQ(girth(complete_graph(5)), 3);
+  EXPECT_EQ(girth(complete_bipartite(3, 3)), 4);
+  EXPECT_EQ(girth(path_graph(8)), -1);
+  Rng rng(6);
+  EXPECT_EQ(girth(random_tree(20, rng)), -1);
+}
+
+TEST(Girth, PetersenGraphIsFive) {
+  // Petersen graph: outer C5, inner pentagram, spokes.
+  Graph g(10);
+  for (int i = 0; i < 5; ++i) {
+    g.add_edge(i, (i + 1) % 5);          // outer cycle
+    g.add_edge(5 + i, 5 + (i + 2) % 5);  // pentagram
+    g.add_edge(i, 5 + i);                // spokes
+  }
+  EXPECT_EQ(girth(g), 5);
+}
+
+TEST(ForEachEmbedding, CountsMatch) {
+  Rng rng(7);
+  Graph g = gnp(12, 0.4, rng);
+  Graph h = path_graph(3);
+  std::uint64_t via_visitor = 0;
+  for_each_embedding(g, h, [&](const std::vector<int>&) {
+    ++via_visitor;
+    return true;
+  });
+  EXPECT_EQ(via_visitor, count_subgraph_embeddings(g, h));
+}
+
+TEST(ForEachEmbedding, EarlyStop) {
+  Graph g = complete_graph(8);
+  int seen = 0;
+  for_each_embedding(g, complete_graph(3), [&](const std::vector<int>&) {
+    ++seen;
+    return seen < 5;
+  });
+  EXPECT_EQ(seen, 5);
+}
+
+}  // namespace
+}  // namespace cclique

@@ -1,0 +1,230 @@
+// Unit tests for the util substrate: bit vectors, PRNG, field, math.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bitvec.h"
+#include "util/check.h"
+#include "util/field.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace cclique {
+namespace {
+
+TEST(BitVec, StartsEmpty) {
+  BitVec v;
+  EXPECT_EQ(v.size_bits(), 0u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(BitVec, PushAndGet) {
+  BitVec v;
+  v.push_bit(true);
+  v.push_bit(false);
+  v.push_bit(true);
+  ASSERT_EQ(v.size_bits(), 3u);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_TRUE(v.get(2));
+}
+
+TEST(BitVec, PushUintRoundTrips) {
+  BitVec v;
+  v.push_uint(0xDEADBEEFCAFEULL, 48);
+  EXPECT_EQ(v.read_uint(0, 48), 0xDEADBEEFCAFEULL);
+}
+
+TEST(BitVec, PushUintLittleEndianBitOrder) {
+  BitVec v;
+  v.push_uint(0b101, 3);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_TRUE(v.get(2));
+}
+
+TEST(BitVec, MixedFieldsRoundTrip) {
+  BitVec v;
+  v.push_uint(42, 17);
+  v.push_bit(true);
+  v.push_uint(7, 3);
+  BitReader r(v);
+  EXPECT_EQ(r.read_uint(17), 42u);
+  EXPECT_TRUE(r.read_bit());
+  EXPECT_EQ(r.read_uint(3), 7u);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BitVec, AppendConcatenates) {
+  BitVec a, b;
+  a.push_uint(5, 4);
+  b.push_uint(9, 5);
+  a.append(b);
+  ASSERT_EQ(a.size_bits(), 9u);
+  EXPECT_EQ(a.read_uint(0, 4), 5u);
+  EXPECT_EQ(a.read_uint(4, 5), 9u);
+}
+
+TEST(BitVec, SetClearsAndSets) {
+  BitVec v(128);
+  v.set(100, true);
+  EXPECT_TRUE(v.get(100));
+  v.set(100, false);
+  EXPECT_FALSE(v.get(100));
+}
+
+TEST(BitVec, EqualityIsBitwise) {
+  BitVec a, b;
+  a.push_uint(3, 2);
+  b.push_uint(3, 2);
+  EXPECT_EQ(a, b);
+  b.push_bit(false);
+  EXPECT_NE(a, b);
+}
+
+TEST(BitVec, OutOfRangeThrows) {
+  BitVec v(4);
+  EXPECT_THROW(v.get(4), PreconditionError);
+  EXPECT_THROW(v.read_uint(2, 3), PreconditionError);
+}
+
+TEST(BitReader, ExhaustionThrows) {
+  BitVec v;
+  v.push_bit(true);
+  BitReader r(v);
+  r.read_bit();
+  EXPECT_THROW(r.read_bit(), PreconditionError);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64()) ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform(17), 17u);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(99);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitIndependence) {
+  Rng parent(11);
+  Rng c1 = parent.split(1);
+  Rng c2 = parent.split(2);
+  EXPECT_NE(c1.next_u64(), c2.next_u64());
+}
+
+TEST(Mersenne61, AddWraps) {
+  EXPECT_EQ(Mersenne61::add(Mersenne61::kP - 1, 1), 0u);
+}
+
+TEST(Mersenne61, SubWraps) {
+  EXPECT_EQ(Mersenne61::sub(0, 1), Mersenne61::kP - 1);
+}
+
+TEST(Mersenne61, MulMatchesSmallCases) {
+  EXPECT_EQ(Mersenne61::mul(3, 5), 15u);
+  EXPECT_EQ(Mersenne61::mul(Mersenne61::kP - 1, 2), Mersenne61::kP - 2);
+}
+
+TEST(Mersenne61, InverseIsInverse) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    std::uint64_t a = Mersenne61::reduce(rng.next_u64());
+    if (a == 0) continue;
+    EXPECT_EQ(Mersenne61::mul(a, Mersenne61::inv(a)), 1u);
+  }
+}
+
+TEST(Mersenne61, PowMatchesRepeatedMul) {
+  std::uint64_t x = 123456789;
+  std::uint64_t acc = 1;
+  for (int e = 0; e < 20; ++e) {
+    EXPECT_EQ(Mersenne61::pow(x, static_cast<std::uint64_t>(e)), acc);
+    acc = Mersenne61::mul(acc, x);
+  }
+}
+
+TEST(Mersenne61, InverseOfZeroThrows) {
+  EXPECT_THROW(Mersenne61::inv(0), PreconditionError);
+}
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4u);
+  EXPECT_EQ(ceil_div(9, 3), 3u);
+  EXPECT_EQ(ceil_div(0, 5), 0u);
+}
+
+TEST(MathUtil, BitsFor) {
+  EXPECT_EQ(bits_for(1), 1);
+  EXPECT_EQ(bits_for(2), 1);
+  EXPECT_EQ(bits_for(3), 2);
+  EXPECT_EQ(bits_for(256), 8);
+  EXPECT_EQ(bits_for(257), 9);
+}
+
+TEST(MathUtil, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(1023), 9);
+  EXPECT_EQ(floor_log2(1024), 10);
+}
+
+TEST(MathUtil, Isqrt) {
+  EXPECT_EQ(isqrt(0), 0u);
+  EXPECT_EQ(isqrt(15), 3u);
+  EXPECT_EQ(isqrt(16), 4u);
+  EXPECT_EQ(isqrt(1ULL << 40), 1ULL << 20);
+}
+
+TEST(MathUtil, IsPrime) {
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(97));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_FALSE(is_prime(91));  // 7 * 13
+}
+
+TEST(MathUtil, PrevPrime) {
+  EXPECT_EQ(prev_prime(10), 7u);
+  EXPECT_EQ(prev_prime(7), 7u);
+  EXPECT_EQ(prev_prime(1), 0u);
+}
+
+TEST(Check, MacrosThrowTypedErrors) {
+  EXPECT_THROW(CC_REQUIRE(false, "boom"), PreconditionError);
+  EXPECT_THROW(CC_CHECK(false, "boom"), InvariantError);
+  EXPECT_THROW(CC_MODEL(false, "boom"), ModelViolation);
+}
+
+}  // namespace
+}  // namespace cclique
