@@ -9,14 +9,19 @@
 using namespace cclique;
 using benchutil::Table;
 using benchutil::cell;
+using benchutil::kD;
+using benchutil::kM;
+using benchutil::kP;
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::init(argc, argv);
   benchutil::banner(
       "E10: counting lower bound (full version of the paper)",
       "some function needs (n - O(log n))/b rounds; trivial UB is n/b — "
       "near-optimal non-explicit bound");
   Table t({"n", "b", "LB rounds (counting)", "UB rounds (n/b)", "gap",
-           "closed form (n^2-n-2log n)/((n-1)b)"});
+           "closed form (n^2-n-2log n)/((n-1)b)"},
+          {kP, kP, kM, kD, kM, kD});
   for (int b : {1, 4, 16}) {
     for (int n : {8, 16, 32, 64, 128, 256}) {
       auto cb = counting_lower_bound(n, b);
@@ -31,5 +36,5 @@ int main() {
   std::printf("shape check: the gap column grows like O(log n)/b while the "
               "bound itself grows like n/b — the counting bound is within a "
               "vanishing fraction of optimal\n");
-  return 0;
+  return benchutil::finish();
 }

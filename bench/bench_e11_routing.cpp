@@ -12,6 +12,9 @@
 using namespace cclique;
 using benchutil::Table;
 using benchutil::cell;
+using benchutil::kD;
+using benchutil::kM;
+using benchutil::kP;
 
 namespace {
 
@@ -46,7 +49,8 @@ RoutingDemand hot_pair_demand(int n, int c) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::init(argc, argv);
   benchutil::banner(
       "E11: routing substrate [28] — balanced demands in O(c) rounds",
       "deterministic relay routing: rounds track the load factor c, not n; "
@@ -54,8 +58,12 @@ int main() {
   Rng rng(11);
   const int bw = 32;
 
+  // Predicted: the Lenzen-style bound — two-phase rounds track the load
+  // factor c (times the fixed payload/bandwidth chunking), independent of
+  // n and of the demand shape.
   Table a({"shape", "n", "c", "direct rounds", "two-phase rounds",
-           "valiant rounds"});
+           "valiant rounds", "pred two-phase O(c)"},
+          {kP, kP, kP, kM, kM, kM, kD});
   for (int n : {16, 32}) {
     for (int c : {1, 2, 4}) {
       {
@@ -64,7 +72,8 @@ int main() {
         a.add_row({"uniform", cell("%d", n), cell("%d", c),
                    cell("%d", route_direct(n1, d).rounds),
                    cell("%d", route_two_phase(n2, d).rounds),
-                   cell("%d", route_valiant(n3, d, rng).rounds)});
+                   cell("%d", route_valiant(n3, d, rng).rounds),
+                   cell("%d", c)});
       }
       {
         RoutingDemand d = hot_pair_demand(n, c);
@@ -72,7 +81,8 @@ int main() {
         a.add_row({"hot-pair", cell("%d", n), cell("%d", c),
                    cell("%d", route_direct(n1, d).rounds),
                    cell("%d", route_two_phase(n2, d).rounds),
-                   cell("%d", route_valiant(n3, d, rng).rounds)});
+                   cell("%d", route_valiant(n3, d, rng).rounds),
+                   cell("%d", c)});
       }
     }
   }
@@ -80,5 +90,5 @@ int main() {
   std::printf("shape check: two-phase column depends on c only; direct "
               "column on hot-pair rows grows like c*n — the bottleneck the "
               "relay scheme removes\n");
-  return 0;
+  return benchutil::finish();
 }

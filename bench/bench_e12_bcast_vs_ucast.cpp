@@ -16,8 +16,12 @@
 using namespace cclique;
 using benchutil::Table;
 using benchutil::cell;
+using benchutil::kD;
+using benchutil::kM;
+using benchutil::kP;
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::init(argc, argv);
   benchutil::banner(
       "E12: broadcast vs unicast capacity (Section 1)",
       "per round: UCAST carries Θ(n^2 b) bits, BCAST Θ(nb) unique bits; "
@@ -26,7 +30,8 @@ int main() {
   const int b = 8;
 
   Table t({"n", "task", "model", "rounds", "total bits", "bits/round",
-           "cut bits (balanced)"});
+           "cut bits (balanced)"},
+          {kP, kP, kP, kM, kM, kM, kM});
   for (int n : {16, 32, 64}) {
     // Task: all-to-all exchange — every ordered pair (i, j) must move
     // player i's n-bit input to player j.
@@ -73,5 +78,5 @@ int main() {
               "n x the volume; equivalently its bits/round is n x BCAST's. "
               "A task needing n^2 *distinct* bits across a cut costs BCAST "
               "n/b extra rounds per n bits — the Section 3.2 bottleneck\n");
-  return 0;
+  return benchutil::finish();
 }

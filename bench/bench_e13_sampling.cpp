@@ -15,8 +15,12 @@
 using namespace cclique;
 using benchutil::Table;
 using benchutil::cell;
+using benchutil::kD;
+using benchutil::kM;
+using benchutil::kP;
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::init(argc, argv);
   benchutil::banner(
       "E13: Lemma 8 — sampled-subgraph degeneracy concentration",
       "w.h.p. 0.9 k 2^-j <= K_j <= 1.1 k 2^-j for all j with k 2^-j >= "
@@ -33,7 +37,8 @@ int main() {
   hosts.push_back({"K_{64,64}", complete_bipartite(64, 64)});
 
   Table t({"host", "k", "j", "target k*2^-j", "mean K_j", "min", "max",
-           "mean ratio"});
+           "mean ratio"},
+          {kP, kP, kP, kD, kM, kM, kM, kM});
   const int trials = 15;
   for (auto& host : hosts) {
     const int k = compute_degeneracy(host.g).degeneracy;
@@ -58,5 +63,5 @@ int main() {
   std::printf("shape check: mean ratio near 1.0 with tight min/max bands "
               "while the target stays above ~log n; deeper levels (smaller "
               "targets) drift, as the lemma's precondition predicts\n");
-  return 0;
+  return benchutil::finish();
 }

@@ -15,8 +15,12 @@
 using namespace cclique;
 using benchutil::Table;
 using benchutil::cell;
+using benchutil::kD;
+using benchutil::kM;
+using benchutil::kP;
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::init(argc, argv);
   benchutil::banner(
       "E14: Claim 6 — H-free graphs have degeneracy <= 4 ex(n,H)/n",
       "checked on extremal witnesses (worst case for the claim) and random "
@@ -24,7 +28,8 @@ int main() {
   Rng rng(14);
 
   Table t({"family", "H", "n", "m", "degeneracy", "cap 4ex/n", "ratio",
-           "H-free?"});
+           "H-free?"},
+          {kP, kP, kP, kP, kM, kD, kM, kM});
   auto add = [&](const char* family, const Graph& g, const Graph& h,
                  const char* hname) {
     const int n = g.num_vertices();
@@ -53,5 +58,5 @@ int main() {
   std::printf("shape check: every ratio <= 1 and every row H-free; extremal "
               "families sit closest to the cap (the factor-4 slack of the "
               "claim is visible as ratios near 0.25-0.5)\n");
-  return 0;
+  return benchutil::finish();
 }

@@ -21,8 +21,12 @@
 using namespace cclique;
 using benchutil::Table;
 using benchutil::cell;
+using benchutil::kD;
+using benchutil::kM;
+using benchutil::kP;
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::init(argc, argv);
   benchutil::banner(
       "E15: extension workloads (Section 1 context: [8], [30], [32], [28], "
       "full-version C4)",
@@ -32,7 +36,8 @@ int main() {
 
   // (a) general subgraph detection: d sweep at fixed n.
   Table a({"pattern", "d", "n", "groups t", "rounds", "detected", "truth",
-           "rounds/n^{(d-2)/d}"});
+           "rounds/n^{(d-2)/d}"},
+          {kP, kP, kP, kM, kM, kM, kP, kM});
   for (int n : {64, 128}) {
     Graph g = gnp(n, 0.3, rng);
     struct P {
@@ -60,7 +65,8 @@ int main() {
   a.print();
 
   // (b) MST.
-  Table b({"n", "graph", "phases", "rounds", "tree edges", "weight ok"});
+  Table b({"n", "graph", "phases", "rounds", "tree edges", "weight ok"},
+          {kP, kP, kM, kM, kM, kM});
   for (int n : {16, 32, 64}) {
     Graph g = gnp(n, 0.5, rng);
     std::vector<std::uint32_t> w(g.edges().size());
@@ -78,7 +84,8 @@ int main() {
   b.print();
 
   // (c) sorting.
-  Table c({"n", "keys/player", "rounds", "total bits", "sorted ok"});
+  Table c({"n", "keys/player", "rounds", "total bits", "sorted ok"},
+          {kP, kP, kM, kM, kM});
   for (int n : {16, 32, 64}) {
     std::vector<std::vector<std::uint32_t>> inputs(static_cast<std::size_t>(n));
     std::vector<std::uint32_t> all;
@@ -105,7 +112,8 @@ int main() {
 
   // (d) CONGEST C4 on near-extremal inputs.
   Table d_tab({"input", "n", "max deg", "rounds", "detected",
-               "rounds/(sqrt(n) log n / b)"});
+               "rounds/(sqrt(n) log n / b)"},
+              {kP, kP, kP, kM, kM, kM});
   const int bw = 8;
   for (std::uint64_t q : {5, 7, 11, 13}) {
     Graph er = polarity_graph(q);
@@ -119,5 +127,5 @@ int main() {
   }
   std::printf("--- (d) CONGEST C4 on C4-free extremal inputs (hardest 'no') ---\n");
   d_tab.print();
-  return 0;
+  return benchutil::finish();
 }

@@ -17,6 +17,9 @@
 using namespace cclique;
 using benchutil::Table;
 using benchutil::cell;
+using benchutil::kD;
+using benchutil::kM;
+using benchutil::kP;
 
 namespace {
 
@@ -43,7 +46,8 @@ Circuit hot_wire_circuit(int n_inputs, int width, int depth) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::init(argc, argv);
   benchutil::banner(
       "E16: ablation — routing substrate inside the Theorem 2 compiler",
       "with relaying (Lenzen-style) rounds stay O(D); direct delivery "
@@ -51,7 +55,8 @@ int main() {
       "overhead");
   Rng rng(16);
 
-  Table t({"circuit", "n", "assignment", "router", "rounds", "bits", "correct"});
+  Table t({"circuit", "n", "assignment", "router", "rounds", "bits", "correct"},
+          {kP, kP, kP, kP, kM, kM, kM});
   for (int n : {8, 16}) {
     struct Case {
       const char* name;
@@ -104,5 +109,5 @@ int main() {
       "default) defuses hot pairs at the source, making even direct routing "
       "competitive — an engineering observation the paper's proof does not "
       "need but a deployment would want.\n");
-  return 0;
+  return benchutil::finish();
 }

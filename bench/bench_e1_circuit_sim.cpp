@@ -13,6 +13,9 @@
 using namespace cclique;
 using benchutil::Table;
 using benchutil::cell;
+using benchutil::kD;
+using benchutil::kM;
+using benchutil::kP;
 
 namespace {
 
@@ -36,7 +39,8 @@ void run_family(const char* name, Table& table, const Circuit& c, int n, Rng& rn
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::init(argc, argv);
   benchutil::banner(
       "E1: Theorem 2 — circuit simulation on CLIQUE-UCAST",
       "depth-D circuits of b-separable gates, n^2 s wires -> O(D) rounds at "
@@ -44,7 +48,8 @@ int main() {
   Rng rng(1);
 
   Table by_n({"circuit", "players", "depth", "wires", "s", "heavy", "bw",
-              "rounds", "rounds/depth", "correct"});
+              "rounds", "rounds/depth", "correct"},
+             {kP, kP, kP, kP, kM, kM, kM, kM, kM, kM});
   for (int n : {8, 16, 32}) {
     run_family("parity-tree(f=4)", by_n, parity_tree(n * n, 4), n, rng);
     run_family("MOD6-of-MOD6", by_n, mod_mod_circuit(n * n, 6, 2 * n, 12, rng), n, rng);
@@ -54,7 +59,8 @@ int main() {
   by_n.print();
 
   Table by_depth({"circuit", "players", "depth", "wires", "s", "heavy", "bw",
-                  "rounds", "rounds/depth", "correct"});
+                  "rounds", "rounds/depth", "correct"},
+                 {kP, kP, kP, kP, kM, kM, kM, kM, kM, kM});
   const int n = 12;
   for (int depth : {2, 4, 8, 16}) {
     run_family("random-layered", by_depth,
@@ -62,5 +68,5 @@ int main() {
   }
   std::printf("--- scaling depth at fixed n (rounds should track depth) ---\n");
   by_depth.print();
-  return 0;
+  return benchutil::finish();
 }

@@ -17,16 +17,24 @@
 using namespace cclique;
 using benchutil::Table;
 using benchutil::cell;
+using benchutil::kD;
+using benchutil::kM;
+using benchutil::kP;
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::init(argc, argv);
   benchutil::banner(
       "E2: §2.1 — triangle detection via MM circuits (Theorem 2 pipeline)",
       "MM circuits with O(n^delta) wires -> O(n^{delta-2}) rounds; Strassen "
       "delta=2.807 vs naive delta=3; conjectured delta=2+eps -> O(n^eps)");
   Rng rng(2);
 
+  // Theorem 2 prices each layer at ~wires/n^2 routing phases, so the
+  // predicted rounds/depth column is wires/n^2 (up to the compiler's
+  // constant) — the series the measured rounds/depth is checked against.
   Table t({"n", "algorithm", "wires", "depth", "rounds", "rounds/depth",
-           "bits", "detected", "truth"});
+           "bits", "detected", "truth", "pred rounds/depth (wires/n^2)"},
+          {kP, kP, kM, kM, kM, kM, kM, kM, kP, kD});
   double prev_rounds[2] = {0, 0}, prev_wires[2] = {0, 0}, prev_rpd[2] = {0, 0};
   double growth[2] = {0, 0}, wgrowth[2] = {0, 0}, rpd_growth[2] = {0, 0};
   for (int n : {8, 16, 32}) {
@@ -43,7 +51,9 @@ int main() {
                  cell("%zu", r.circuit_wires), cell("%d", r.circuit_depth),
                  cell("%d", r.stats.rounds), cell("%.1f", rpd),
                  cell("%llu", static_cast<unsigned long long>(r.stats.total_bits)),
-                 r.detected ? "yes" : "no", truth ? "yes" : "no"});
+                 r.detected ? "yes" : "no", truth ? "yes" : "no",
+                 cell("%.1f", static_cast<double>(r.circuit_wires) /
+                                  (static_cast<double>(n) * n))});
       if (prev_rounds[alg] > 0) {
         growth[alg] = static_cast<double>(r.stats.rounds) / prev_rounds[alg];
         wgrowth[alg] = static_cast<double>(r.circuit_wires) / prev_wires[alg];
@@ -69,5 +79,5 @@ int main() {
   std::printf("note: verdicts are one-sided (reps=1 keeps this bench fast; "
               "miss probability per run <= 3/4 — correctness is covered by "
               "tests with reps>=10)\n");
-  return 0;
+  return benchutil::finish();
 }

@@ -16,15 +16,20 @@
 using namespace cclique;
 using benchutil::Table;
 using benchutil::cell;
+using benchutil::kD;
+using benchutil::kM;
+using benchutil::kP;
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::init(argc, argv);
   benchutil::banner(
       "E3: Dolev–Lenzen–Peled triangle detection (the paper's baseline [8])",
       "deterministic ~n^{1/3} rounds; with >= T triangles, ~n^{1/3}/T^{2/3}");
   Rng rng(3);
 
   Table a({"n", "groups t", "rounds", "bits", "detected", "truth",
-           "rounds/n^{1/3}"});
+           "rounds/n^{1/3}"},
+          {kP, kM, kM, kM, kM, kP, kM});
   for (int n : {32, 64, 128, 256}) {
     // Dense inputs: the algorithm's cost is dominated by routing the
     // Θ(n^{4/3}) edges each player's group triple spans, which is the
@@ -43,7 +48,8 @@ int main() {
   a.print();
 
   Table b({"n", "promise T", "actual T", "groups t", "rounds", "detected",
-           "rounds*T^{2/3}"});
+           "rounds*T^{2/3}"},
+          {kP, kP, kP, kM, kM, kM, kM});
   const int n = 128;
   for (double density : {0.15, 0.3, 0.6}) {
     Graph g = gnp(n, density, rng);
@@ -61,5 +67,5 @@ int main() {
   }
   std::printf("--- (b) promised-T acceleration at n=%d (rounds shrink as T grows) ---\n", n);
   b.print();
-  return 0;
+  return benchutil::finish();
 }

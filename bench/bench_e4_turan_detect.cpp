@@ -20,8 +20,12 @@
 using namespace cclique;
 using benchutil::Table;
 using benchutil::cell;
+using benchutil::kD;
+using benchutil::kM;
+using benchutil::kP;
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::init(argc, argv);
   benchutil::banner(
       "E4: Theorem 7 — Turán-bound subgraph detection on CLIQUE-BCAST",
       "O(ex(n,H)/n * log n / b) rounds; trees ~log n, C4 ~sqrt(n) log n, "
@@ -40,7 +44,8 @@ int main() {
   patterns.push_back({"K4 (clique)", complete_graph(4)});
 
   Table t({"H", "n", "cap 4ex/n", "rounds", "bits", "predictor ex/n*logn/b",
-           "rounds/pred", "verdict", "truth"});
+           "rounds/pred", "verdict", "truth"},
+          {kP, kP, kD, kM, kM, kD, kM, kM, kP});
   for (const auto& p : patterns) {
     for (int n : {32, 64, 128}) {
       Graph g = gnp(n, 1.5 / n, rng);  // sparse: detection must reconstruct
@@ -62,5 +67,5 @@ int main() {
   std::printf("rounds/pred should stay ~constant within each pattern class "
               "(the constant absorbs the 2k x 61-bit field elements of the "
               "sketch; see DESIGN.md substitution #2)\n");
-  return 0;
+  return benchutil::finish();
 }

@@ -18,8 +18,12 @@
 using namespace cclique;
 using benchutil::Table;
 using benchutil::cell;
+using benchutil::kD;
+using benchutil::kM;
+using benchutil::kP;
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::init(argc, argv);
   benchutil::banner(
       "E5: Theorem 9 — adaptive detection with unknown Turán number",
       "H-free: exact 'no' in O(ex log^2 n/(nb)); H present: copy found "
@@ -30,7 +34,8 @@ int main() {
   const Graph h = cycle_graph(4);
 
   Table t({"input", "n", "rounds", "bits", "verdict", "truth", "k_i", "level j",
-           "A-runs", "vs Thm7 rounds"});
+           "A-runs", "vs Thm7 rounds"},
+          {kP, kP, kM, kM, kM, kP, kM, kM, kM, kM});
   for (int n : {32, 64}) {
     // H-free worst case: dense C4-free graph.
     Graph free_g = dense_cl_free_graph(n, 4, rng);
@@ -63,5 +68,5 @@ int main() {
   std::printf("expected shape: dense inputs exit at level j > 0 with small "
               "k_i (cheap); H-free inputs pay the full doubling ladder to "
               "j=0 — the log^2 factor over Theorem 7's informed run\n");
-  return 0;
+  return benchutil::finish();
 }

@@ -14,8 +14,12 @@
 using namespace cclique;
 using benchutil::Table;
 using benchutil::cell;
+using benchutil::kD;
+using benchutil::kM;
+using benchutil::kP;
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::init(argc, argv);
   benchutil::banner(
       "E6: Theorem 15 — K_l detection requires Ω(n/b) rounds (CLIQUE-BCAST)",
       "Lemma 14 gadget: |E_F| = N^2 = Θ(n^2) disjointness elements -> "
@@ -28,7 +32,8 @@ int main() {
   };
 
   Table t({"N", "n=4N", "|E_F|=N^2", "reduction ok", "avg DISJ bits",
-           "LB rounds N^2/nb", "measured UB rounds", "UB/LB"});
+           "LB rounds N^2/nb", "measured UB rounds", "UB/LB"},
+          {kP, kP, kP, kM, kM, kD, kM, kM});
   for (int big_n : {4, 8, 16, 32}) {
     auto lbg = clique_lower_bound_graph(4, big_n);
     const std::size_t m = lbg.f.edges().size();
@@ -56,5 +61,5 @@ int main() {
   t.print();
   std::printf("shape check: LB rounds grow ~linearly in n (N^2/(4N b)); the "
               "UB/LB ratio is the O(log n) gap the paper leaves open\n");
-  return 0;
+  return benchutil::finish();
 }

@@ -17,8 +17,12 @@
 using namespace cclique;
 using benchutil::Table;
 using benchutil::cell;
+using benchutil::kD;
+using benchutil::kM;
+using benchutil::kP;
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::init(argc, argv);
   benchutil::banner(
       "E7: Theorem 19 — C_l detection requires Ω(ex(n,C_l)/(nb)) rounds",
       "odd l: ex = Θ(n^2) -> Ω(n/b); C4: ex = Θ(n^{3/2}) -> Ω(sqrt(n)/b); "
@@ -27,7 +31,8 @@ int main() {
   const int b = 8;
 
   Table t({"l", "N", "n(G')", "|E_F|", "cut", "reduction ok",
-           "BCAST LB rounds", "CONGEST LB rounds", "measured UB"});
+           "BCAST LB rounds", "CONGEST LB rounds", "measured UB"},
+          {kP, kP, kP, kP, kP, kM, kD, kD, kM});
   for (int l : {4, 5, 6, 7}) {
     for (int big_n : {8, 16, 32}) {
       auto lbg = cycle_lower_bound_graph(l, big_n, rng);
@@ -62,5 +67,5 @@ int main() {
   std::printf("shape check: odd l rows scale like N (carrier N^2/4 edges); "
               "l=4 rows scale like sqrt(N) (C4-free carrier); CONGEST bound "
               "is a 1/δ factor above BCAST (cut = N crossing edges)\n");
-  return 0;
+  return benchutil::finish();
 }

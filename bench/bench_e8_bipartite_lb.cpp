@@ -16,8 +16,12 @@
 using namespace cclique;
 using benchutil::Table;
 using benchutil::cell;
+using benchutil::kD;
+using benchutil::kM;
+using benchutil::kP;
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::init(argc, argv);
   benchutil::banner(
       "E8: Theorem 22 — K_{l,l} detection requires Ω(sqrt(n)/b) rounds",
       "carrier = bipartite C4-free with Θ(N^{3/2}) edges -> rounds >= "
@@ -26,7 +30,8 @@ int main() {
   const int b = 8;
 
   Table t({"l=m", "N", "n(G')", "|E_F|", "|E_F|/N^{3/2}", "reduction ok",
-           "LB rounds", "LB*b/sqrt(n)", "measured UB"});
+           "LB rounds", "LB*b/sqrt(n)", "measured UB"},
+          {kP, kP, kP, kP, kM, kM, kD, kD, kM});
   for (int l : {2, 3}) {
     for (int big_n : {16, 32, 64, 128}) {
       auto lbg = bipartite_lower_bound_graph(l, l, big_n);
@@ -60,5 +65,5 @@ int main() {
   t.print();
   std::printf("shape check: |E_F|/N^{3/2} flat (carrier is extremal-order); "
               "LB*b/sqrt(n) flat => the bound is Ω(sqrt(n)/b)\n");
-  return 0;
+  return benchutil::finish();
 }

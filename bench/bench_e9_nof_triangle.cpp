@@ -17,8 +17,12 @@
 using namespace cclique;
 using benchutil::Table;
 using benchutil::cell;
+using benchutil::kD;
+using benchutil::kM;
+using benchutil::kP;
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::init(argc, argv);
   benchutil::banner(
       "E9: Theorem 24 / Corollary 25 — NOF disjointness vs triangles",
       "RS graphs carry m = n^2/e^{O(sqrt(log n))} edge-disjoint triangles; "
@@ -32,7 +36,8 @@ int main() {
   };
 
   Table t({"param", "n(RS)", "triangles m", "m/n^2", "reduction ok",
-           "avg NOF bits", "LB rounds m/(nb)", "LB*b/n"});
+           "avg NOF bits", "LB rounds m/(nb)", "LB*b/n"},
+          {kP, kP, kP, kM, kM, kM, kD, kD});
   for (int param : {8, 16, 32, 64, 128}) {
     const RuzsaSzemerediGraph rs = ruzsa_szemeredi_graph(param);
     const std::size_t m = rs.triangles.size();
@@ -59,5 +64,5 @@ int main() {
   std::printf("shape check: m/n^2 decays slowly (the e^{-O(sqrt(log n))} "
               "factor); LB*b/n approaches a slowly-decaying constant — the "
               "near-linear deterministic bound of Corollary 25\n");
-  return 0;
+  return benchutil::finish();
 }

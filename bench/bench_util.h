@@ -5,37 +5,203 @@
 // not wall-clock time; each binary prints the series the corresponding
 // theorem predicts next to the measurement. Wall-clock microbenchmarks of
 // the substrates live in bench_micro.cpp (google-benchmark).
+//
+// Machine-readable output: every harness accepts `--json=PATH` (parsed by
+// init()). When given, finish() mirrors every printed Table row into PATH
+// as one JSON object per row, with cells bucketed into {params, measured,
+// predicted} according to the per-column Col kinds — this is the
+// BENCH_<id>.json trajectory format tracked by the ROADMAP and produced in
+// bulk by run_all.sh / `ctest -L bench`.
 #pragma once
 
 #include <cstdarg>
+#include <cstddef>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 namespace cclique::benchutil {
 
-/// Prints the experiment banner.
+/// Role of a table column in the emitted JSON: an experiment parameter
+/// (input scale, shape, seed), a measured quantity (rounds, bits, wires),
+/// or a theory-predicted quantity the measurement is checked against.
+enum class Col { kParam, kMeasured, kPredicted };
+
+/// Shorthand for Table kind lists: {kP, kP, kM, kM, kD}.
+inline constexpr Col kP = Col::kParam;
+inline constexpr Col kM = Col::kMeasured;
+inline constexpr Col kD = Col::kPredicted;
+
+namespace detail {
+
+struct TableRecord {
+  std::vector<std::string> headers;
+  std::vector<Col> kinds;
+  std::vector<std::vector<std::string>> rows;
+};
+
+struct Registry {
+  std::string json_path;  // empty: JSON emission disabled
+  std::string id;
+  std::string claim;
+  std::vector<TableRecord> tables;
+};
+
+inline Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+inline void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// True iff s is a number under JSON's grammar (stricter than strtod():
+/// no hex, no leading '+'/'.', no redundant leading zero), so the cell
+/// can be copied into the output verbatim.
+inline bool is_json_number(const std::string& s) {
+  std::size_t i = 0;
+  const std::size_t n = s.size();
+  if (i < n && s[i] == '-') ++i;
+  if (i >= n || s[i] < '0' || s[i] > '9') return false;
+  if (s[i] == '0') {
+    ++i;
+  } else {
+    while (i < n && s[i] >= '0' && s[i] <= '9') ++i;
+  }
+  if (i < n && s[i] == '.') {
+    ++i;
+    if (i >= n || s[i] < '0' || s[i] > '9') return false;
+    while (i < n && s[i] >= '0' && s[i] <= '9') ++i;
+  }
+  if (i < n && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < n && (s[i] == '+' || s[i] == '-')) ++i;
+    if (i >= n || s[i] < '0' || s[i] > '9') return false;
+    while (i < n && s[i] >= '0' && s[i] <= '9') ++i;
+  }
+  return i == n;
+}
+
+/// Emits a cell as a JSON number when it is one (the common case for
+/// measurements), else as a JSON string.
+inline void append_json_value(std::string& out, const std::string& s) {
+  if (is_json_number(s)) {
+    out += s;
+    return;
+  }
+  append_json_string(out, s);
+}
+
+/// One row object: cells bucketed by column kind. Columns beyond the kinds
+/// vector (or all columns past the first, when no kinds were given) count
+/// as measured.
+inline void append_row_object(std::string& out, const TableRecord& t,
+                              const std::vector<std::string>& row) {
+  const char* bucket_names[3] = {"params", "measured", "predicted"};
+  const Col bucket_ids[3] = {Col::kParam, Col::kMeasured, Col::kPredicted};
+  out += '{';
+  for (int b = 0; b < 3; ++b) {
+    if (b) out += ", ";
+    out += '"';
+    out += bucket_names[b];
+    out += "\": {";
+    bool first = true;
+    for (std::size_t c = 0; c < row.size() && c < t.headers.size(); ++c) {
+      Col kind = Col::kMeasured;
+      if (c < t.kinds.size()) {
+        kind = t.kinds[c];
+      } else if (t.kinds.empty() && c == 0) {
+        kind = Col::kParam;
+      }
+      if (kind != bucket_ids[b]) continue;
+      if (!first) out += ", ";
+      first = false;
+      append_json_string(out, t.headers[c]);
+      out += ": ";
+      append_json_value(out, row[c]);
+    }
+    out += '}';
+  }
+  out += '}';
+}
+
+}  // namespace detail
+
+/// Parses harness flags; call first in main(). Currently only
+/// `--json=PATH` (unknown arguments are ignored so wrappers can pass
+/// extras through).
+inline void init(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      detail::registry().json_path = arg.substr(7);
+    }
+  }
+}
+
+/// Prints the experiment banner and records id/claim for the JSON header.
 inline void banner(const char* id, const char* claim) {
+  detail::registry().id = id;
+  detail::registry().claim = claim;
   std::printf("==============================================================\n");
   std::printf("%s\n", id);
   std::printf("paper claim: %s\n", claim);
   std::printf("==============================================================\n");
 }
 
-/// printf-append into a row cell.
+/// printf-append into a row cell. Never truncates: sizes the result with a
+/// measuring vsnprintf pass first.
 inline std::string cell(const char* fmt, ...) {
-  char buf[128];
   va_list args;
   va_start(args, fmt);
-  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_list measure;
+  va_copy(measure, args);
+  const int len = std::vsnprintf(nullptr, 0, fmt, measure);
+  va_end(measure);
+  std::string out;
+  if (len > 0) {
+    out.resize(static_cast<std::size_t>(len));
+    // C++17 guarantees contiguous, writable data(); +1 for the NUL
+    // vsnprintf writes, which resize() already reserved room for via the
+    // internal terminator.
+    std::vsnprintf(out.data(), static_cast<std::size_t>(len) + 1, fmt, args);
+  }
   va_end(args);
-  return std::string(buf);
+  return out;
 }
 
-/// Fixed-width table printer.
+/// Fixed-width table printer. The optional kinds vector tags each column
+/// as parameter / measured / predicted for the JSON mirror; when omitted,
+/// column 0 counts as the parameter and the rest as measured.
 class Table {
  public:
-  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+  explicit Table(std::vector<std::string> headers, std::vector<Col> kinds = {})
+      : headers_(std::move(headers)), kinds_(std::move(kinds)) {
+    if (!kinds_.empty() && kinds_.size() != headers_.size()) {
+      std::fprintf(stderr, "bench_util: Table kinds list has %zu entries for %zu headers\n",
+                   kinds_.size(), headers_.size());
+      std::abort();
+    }
+  }
 
   void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
 
@@ -56,11 +222,75 @@ class Table {
     print_row(headers_);
     for (const auto& row : rows_) print_row(row);
     std::printf("\n");
+    // Mirror the current rows into the JSON registry. Re-printing the same
+    // table overwrites its earlier snapshot rather than duplicating rows.
+    auto& tables = detail::registry().tables;
+    if (reg_index_ < 0) {
+      reg_index_ = static_cast<std::ptrdiff_t>(tables.size());
+      tables.push_back({});
+    }
+    tables[static_cast<std::size_t>(reg_index_)] = {headers_, kinds_, rows_};
   }
 
  private:
   std::vector<std::string> headers_;
+  std::vector<Col> kinds_;
   std::vector<std::vector<std::string>> rows_;
+  mutable std::ptrdiff_t reg_index_ = -1;
 };
+
+/// Writes the JSON mirror if --json was given; call last in main() and
+/// return its result (0 on success, 1 when the file cannot be written, so
+/// a failed emission fails the ctest bench entry).
+inline int finish() {
+  const detail::Registry& r = detail::registry();
+  if (r.json_path.empty()) return 0;
+  std::string out = "{\n  \"bench\": ";
+  detail::append_json_string(out, r.id);
+  out += ",\n  \"claim\": ";
+  detail::append_json_string(out, r.claim);
+  out += ",\n  \"tables\": [";
+  for (std::size_t t = 0; t < r.tables.size(); ++t) {
+    if (t) out += ',';
+    out += "\n    {\"headers\": [";
+    for (std::size_t c = 0; c < r.tables[t].headers.size(); ++c) {
+      if (c) out += ", ";
+      detail::append_json_string(out, r.tables[t].headers[c]);
+    }
+    out += "],\n     \"rows\": [";
+    for (std::size_t i = 0; i < r.tables[t].rows.size(); ++i) {
+      if (i) out += ',';
+      out += "\n      ";
+      detail::append_row_object(out, r.tables[t], r.tables[t].rows[i]);
+    }
+    out += "\n    ]}";
+  }
+  out += "\n  ],\n  \"rows\": [";
+  // Flattened view across tables: one {params, measured, predicted} object
+  // per printed row, in print order.
+  bool first = true;
+  for (const auto& table : r.tables) {
+    for (const auto& row : table.rows) {
+      if (!first) out += ',';
+      first = false;
+      out += "\n    ";
+      detail::append_row_object(out, table, row);
+    }
+  }
+  out += "\n  ]\n}\n";
+  std::FILE* f = std::fopen(r.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_util: cannot open %s for writing\n", r.json_path.c_str());
+    return 1;
+  }
+  const bool wrote_all = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote_all || !closed) {
+    std::fprintf(stderr, "bench_util: short write to %s\n", r.json_path.c_str());
+    return 1;
+  }
+  std::printf("json written: %s\n", r.json_path.c_str());
+  return 0;
+}
 
 }  // namespace cclique::benchutil

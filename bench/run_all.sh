@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Runs every experiment harness and collects the BENCH_<id>.json
+# trajectory files the ROADMAP tracks.
+#
+# Usage: bench/run_all.sh [BUILD_DIR] [OUT_DIR]
+#   BUILD_DIR  cmake binary dir containing bench/bench_e* (default: build)
+#   OUT_DIR    where BENCH_<id>.json and BENCH_<id>.log land (default: BUILD_DIR)
+#
+# Equivalent inside the build dir: ctest -L bench (the ctest entries pass
+# the same --json flags).
+set -euo pipefail
+
+build_dir=${1:-build}
+out_dir=${2:-$build_dir}
+
+if ! compgen -G "$build_dir/bench/bench_e*" > /dev/null; then
+  echo "error: no bench binaries under $build_dir/bench — build first:" >&2
+  echo "  cmake -B $build_dir -S . && cmake --build $build_dir -j" >&2
+  exit 1
+fi
+
+mkdir -p "$out_dir"
+status=0
+for exe in "$build_dir"/bench/bench_e*; do
+  id=$(basename "$exe")
+  [[ -x $exe && ! $id == *.* ]] || continue
+  id=${id#bench_}
+  echo "== $id"
+  if ! "$exe" --json="$out_dir/BENCH_${id}.json" > "$out_dir/BENCH_${id}.log" 2>&1; then
+    echo "   FAILED (see $out_dir/BENCH_${id}.log)" >&2
+    status=1
+  fi
+done
+ls -1 "$out_dir"/BENCH_*.json
+exit $status

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "graph/generators.h"
+#include "graph/turan.h"
 
 namespace cclique {
 
@@ -95,6 +96,28 @@ std::vector<int> pattern_order(const Graph& h) {
   return order;
 }
 
+// Greedy (first-fit) upper bound on chi(g), O(n + m).
+int greedy_coloring_bound(const Graph& g) {
+  const int n = g.num_vertices();
+  std::vector<int> color(static_cast<std::size_t>(n), -1);
+  std::vector<char> taken;
+  int num_colors = 0;
+  for (int v = 0; v < n; ++v) {
+    // A vertex either reuses one of the num_colors existing colors or
+    // opens color num_colors, so index num_colors is always available.
+    taken.assign(static_cast<std::size_t>(num_colors) + 1, 0);
+    for (int u : g.neighbors(v)) {
+      const int cu = color[static_cast<std::size_t>(u)];
+      if (cu >= 0) taken[static_cast<std::size_t>(cu)] = 1;
+    }
+    int c = 0;
+    while (taken[static_cast<std::size_t>(c)] != 0) ++c;
+    color[static_cast<std::size_t>(v)] = c;
+    if (c == num_colors) ++num_colors;
+  }
+  return num_colors;
+}
+
 // Backtracking embedding search; if count_all, counts every embedding,
 // otherwise stops at the first and records it in `embedding`.
 std::uint64_t embed(const Graph& g, const Graph& h,
@@ -148,6 +171,19 @@ bool contains_subgraph(const Graph& g, const Graph& h) {
 std::optional<std::vector<int>> find_subgraph(const Graph& g, const Graph& h) {
   if (h.num_vertices() > g.num_vertices()) return std::nullopt;
   if (h.num_vertices() == 0) return std::vector<int>{};
+  // Coloring precheck: a copy of h in g forces chi(h) <= chi(g), and the
+  // greedy bound dominates chi(g). This answers "no" in O(n + m) for the
+  // cases where the backtracking search degenerates — odd patterns on
+  // bipartite hosts (C5 in K_{n,n}) or K_{r+1} on r-partite hosts — which
+  // otherwise enumerate nearly every |V(h)|-tuple before failing.
+  if (h.num_vertices() <= 16 && h.num_edges() > 0) {
+    // chi(h) <= |V(h)|, so a greedy bound of |V(h)| or more can never
+    // trigger the reject — skip the exponential exact chi(h) in that case.
+    const int greedy = greedy_coloring_bound(g);
+    if (greedy < h.num_vertices() && greedy < chromatic_number(h)) {
+      return std::nullopt;
+    }
+  }
   auto order = pattern_order(h);
   std::vector<int> assignment(static_cast<std::size_t>(h.num_vertices()), -1);
   std::vector<bool> used(static_cast<std::size_t>(g.num_vertices()), false);

@@ -1,0 +1,47 @@
+// Compile-time and build-configuration invariants the rest of the suites
+// silently depend on. If this suite fails, fix the build system, not the
+// library.
+#include <gtest/gtest.h>
+
+#include <cassert>
+#include <climits>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace cclique {
+namespace {
+
+// The library is written against C++17 (structured bindings, if-init,
+// std::optional in public interfaces).
+static_assert(__cplusplus >= 201703L, "cclique requires C++17 or newer");
+
+// bitvec/field arithmetic assumes 64-bit unsigned words and 8-bit bytes.
+static_assert(sizeof(std::uint64_t) * CHAR_BIT == 64, "need 64-bit words");
+static_assert(CHAR_BIT == 8, "need 8-bit bytes");
+
+TEST(BuildSanity, CxxStandardIsCxx17OrNewer) {
+  EXPECT_GE(__cplusplus, 201703L);
+}
+
+TEST(BuildSanity, NdebugIsOffInTestConfig) {
+  // Tests exercise assert()-style paths and must not be compiled with
+  // NDEBUG; tests/CMakeLists.txt appends -UNDEBUG to guarantee it.
+#ifdef NDEBUG
+  FAIL() << "NDEBUG is defined in the test configuration";
+#endif
+  bool assert_ran = false;
+  assert((assert_ran = true));
+  EXPECT_TRUE(assert_ran) << "assert() was compiled out";
+}
+
+TEST(BuildSanity, ChecksAreActiveRegardlessOfBuildType) {
+  // CC_* checks are exception-based and documented as active in every
+  // build type — they must fire even if a config were to define NDEBUG.
+  EXPECT_THROW(CC_REQUIRE(false, "build sanity"), PreconditionError);
+  EXPECT_THROW(CC_CHECK(false, "build sanity"), InvariantError);
+  EXPECT_THROW(CC_MODEL(false, "build sanity"), ModelViolation);
+}
+
+}  // namespace
+}  // namespace cclique

@@ -37,7 +37,10 @@ TEST(CliqueUnicast, DeliversPointToPoint) {
       });
   for (int r = 0; r < 4; ++r) {
     for (int j = 0; j < 4; ++j) {
-      if (j != r) EXPECT_EQ(got[static_cast<std::size_t>(r)][static_cast<std::size_t>(j)], static_cast<std::uint64_t>(10 * j + r));
+      if (j != r) {
+        EXPECT_EQ(got[static_cast<std::size_t>(r)][static_cast<std::size_t>(j)],
+                  static_cast<std::uint64_t>(10 * j + r));
+      }
     }
   }
   EXPECT_EQ(net.stats().rounds, 1);

@@ -151,7 +151,9 @@ TEST(Generators, RandomTreeIsTree) {
     Graph t = random_tree(n, rng);
     EXPECT_EQ(t.num_edges(), static_cast<std::size_t>(n - 1));
     // Connectivity via peeling: a tree has degeneracy 1.
-    if (n >= 2) EXPECT_EQ(compute_degeneracy(t).degeneracy, 1);
+    if (n >= 2) {
+      EXPECT_EQ(compute_degeneracy(t).degeneracy, 1);
+    }
   }
 }
 

@@ -104,7 +104,9 @@ TEST(Shamir, OneSidedAndComplete) {
     for (int i = 0; i < n; ++i) {
       for (int j = 0; j < n; ++j) {
         // One-sided: approx 1 implies exact 1.
-        if (approx.get(i, j)) EXPECT_TRUE(exact.get(i, j));
+        if (approx.get(i, j)) {
+          EXPECT_TRUE(exact.get(i, j));
+        }
         if (exact.get(i, j) && !approx.get(i, j)) ++missed;
       }
     }

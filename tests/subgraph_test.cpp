@@ -2,6 +2,7 @@
 // protocol in the library.
 #include <gtest/gtest.h>
 
+#include "graph/extremal.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "graph/subgraph.h"
@@ -144,6 +145,29 @@ TEST(ForEachEmbedding, CountsMatch) {
     return true;
   });
   EXPECT_EQ(via_visitor, count_subgraph_embeddings(g, h));
+}
+
+TEST(SubgraphSearch, ColoringPrecheckRejectsFast) {
+  // These hosts make the backtracking search degenerate (it enumerates
+  // nearly every |V(h)|-tuple before failing); the chromatic precheck in
+  // find_subgraph must answer them without entering the search. The suite
+  // timeout is the regression guard.
+  const Graph big_bip = complete_bipartite(60, 60);
+  EXPECT_FALSE(contains_subgraph(big_bip, complete_graph(3)));
+  EXPECT_FALSE(contains_subgraph(big_bip, cycle_graph(5)));
+  EXPECT_FALSE(contains_subgraph(big_bip, cycle_graph(7)));
+  EXPECT_FALSE(contains_subgraph(turan_graph(120, 3), complete_graph(4)));
+}
+
+TEST(SubgraphSearch, ColoringPrecheckKeepsPositives) {
+  // Soundness of the precheck: patterns that do embed must still be found,
+  // including on hosts whose greedy coloring is small.
+  Rng rng(77);
+  Graph bip_plus = complete_bipartite(20, 20);
+  EXPECT_TRUE(contains_subgraph(bip_plus, cycle_graph(4)));
+  plant_subgraph(bip_plus, cycle_graph(5), rng);
+  EXPECT_TRUE(contains_subgraph(bip_plus, cycle_graph(5)));
+  EXPECT_TRUE(contains_subgraph(turan_graph(30, 4), complete_graph(4)));
 }
 
 TEST(ForEachEmbedding, EarlyStop) {
