@@ -22,8 +22,8 @@ int main(int argc, char** argv) {
   Table t({"n", "b", "LB rounds (counting)", "UB rounds (n/b)", "gap",
            "closed form (n^2-n-2log n)/((n-1)b)"},
           {kP, kP, kM, kD, kM, kD});
-  for (int b : {1, 4, 16}) {
-    for (int n : {8, 16, 32, 64, 128, 256}) {
+  for (int b : benchutil::grid({1, 4, 16})) {
+    for (int n : benchutil::grid({8, 16, 32, 64, 128, 256})) {
       auto cb = counting_lower_bound(n, b);
       t.add_row({cell("%d", n), cell("%d", b),
                  cell("%.0f", cb.lower_bound_rounds),

@@ -64,8 +64,8 @@ int main(int argc, char** argv) {
   Table a({"shape", "n", "c", "direct rounds", "two-phase rounds",
            "valiant rounds", "pred two-phase O(c)"},
           {kP, kP, kP, kM, kM, kM, kD});
-  for (int n : {16, 32}) {
-    for (int c : {1, 2, 4}) {
+  for (int n : benchutil::grid({16, 32})) {
+    for (int c : benchutil::grid({1, 2, 4})) {
       {
         RoutingDemand d = uniform_demand(n, c, rng);
         CliqueUnicast n1(n, bw), n2(n, bw), n3(n, bw);

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   Table t({"n", "task", "model", "rounds", "total bits", "bits/round",
            "cut bits (balanced)"},
           {kP, kP, kP, kM, kM, kM, kM});
-  for (int n : {16, 32, 64}) {
+  for (int n : benchutil::grid({16, 32, 64})) {
     // Task: all-to-all exchange — every ordered pair (i, j) must move
     // player i's n-bit input to player j.
     std::vector<Message> inputs(static_cast<std::size_t>(n));

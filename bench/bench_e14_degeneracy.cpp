@@ -41,15 +41,15 @@ int main(int argc, char** argv) {
                contains_subgraph(g, h) ? "NO (!)" : "yes"});
   };
 
-  for (std::uint64_t q : {5, 7, 11}) {
+  for (std::uint64_t q : benchutil::grid<std::uint64_t>({5, 7, 11})) {
     add("polarity ER_q", polarity_graph(q), cycle_graph(4), "C4");
   }
-  for (int n : {40, 80, 160}) {
+  for (int n : benchutil::grid({40, 80, 160})) {
     add("K_{n/2,n/2}", complete_bipartite(n / 2, n / 2), complete_graph(3), "K3");
     add("K_{n/2,n/2}", complete_bipartite(n / 2, n / 2), cycle_graph(5), "C5");
     add("Turan(n,3)", turan_graph(n, 3), complete_graph(4), "K4");
   }
-  for (int n : {60, 120}) {
+  for (int n : benchutil::grid({60, 120})) {
     add("random tree", random_tree(n, rng), cycle_graph(4), "C4");
     Graph hg = high_girth_graph(n, 6, rng);
     add("girth>6 greedy", hg, cycle_graph(6), "C6");

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   Table a({"pattern", "d", "n", "groups t", "rounds", "detected", "truth",
            "rounds/n^{(d-2)/d}"},
           {kP, kP, kP, kM, kM, kM, kP, kM});
-  for (int n : {64, 128}) {
+  for (int n : benchutil::grid({64, 128})) {
     Graph g = gnp(n, 0.3, rng);
     struct P {
       const char* name;
@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
   // (b) MST.
   Table b({"n", "graph", "phases", "rounds", "tree edges", "weight ok"},
           {kP, kP, kM, kM, kM, kM});
-  for (int n : {16, 32, 64}) {
+  for (int n : benchutil::grid({16, 32, 64})) {
     Graph g = gnp(n, 0.5, rng);
     std::vector<std::uint32_t> w(g.edges().size());
     for (auto& x : w) x = static_cast<std::uint32_t>(rng.uniform(1 << 20));
@@ -86,7 +86,7 @@ int main(int argc, char** argv) {
   // (c) sorting.
   Table c({"n", "keys/player", "rounds", "total bits", "sorted ok"},
           {kP, kP, kM, kM, kM});
-  for (int n : {16, 32, 64}) {
+  for (int n : benchutil::grid({16, 32, 64})) {
     std::vector<std::vector<std::uint32_t>> inputs(static_cast<std::size_t>(n));
     std::vector<std::uint32_t> all;
     for (auto& block : inputs) {
@@ -115,7 +115,7 @@ int main(int argc, char** argv) {
                "rounds/(sqrt(n) log n / b)"},
               {kP, kP, kP, kM, kM, kM});
   const int bw = 8;
-  for (std::uint64_t q : {5, 7, 11, 13}) {
+  for (std::uint64_t q : benchutil::grid<std::uint64_t>({5, 7, 11, 13})) {
     Graph er = polarity_graph(q);
     auto r = congest_c4_detect(er, bw);
     const double n = er.num_vertices();

@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
 
   Table t({"circuit", "n", "assignment", "router", "rounds", "bits", "correct"},
           {kP, kP, kP, kP, kM, kM, kM});
-  for (int n : {8, 16}) {
+  for (int n : benchutil::grid({8, 16})) {
     struct Case {
       const char* name;
       Circuit c;

@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
   Table by_n({"circuit", "players", "depth", "wires", "s", "heavy", "bw",
               "rounds", "rounds/depth", "correct"},
              {kP, kP, kP, kP, kM, kM, kM, kM, kM, kM});
-  for (int n : {8, 16, 32}) {
+  for (int n : benchutil::grid({8, 16, 32})) {
     run_family("parity-tree(f=4)", by_n, parity_tree(n * n, 4), n, rng);
     run_family("MOD6-of-MOD6", by_n, mod_mod_circuit(n * n, 6, 2 * n, 12, rng), n, rng);
     run_family("majority", by_n, majority(n * n), n, rng);
@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
                   "rounds", "rounds/depth", "correct"},
                  {kP, kP, kP, kP, kM, kM, kM, kM, kM, kM});
   const int n = 12;
-  for (int depth : {2, 4, 8, 16}) {
+  for (int depth : benchutil::grid({2, 4, 8, 16})) {
     run_family("random-layered", by_depth,
                random_layered_circuit(n * n, 2 * n, depth, 6, rng), n, rng);
   }

@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
           {kP, kP, kM, kM, kM, kM, kM, kM, kP, kD});
   double prev_rounds[2] = {0, 0}, prev_wires[2] = {0, 0}, prev_rpd[2] = {0, 0};
   double growth[2] = {0, 0}, wgrowth[2] = {0, 0}, rpd_growth[2] = {0, 0};
-  for (int n : {8, 16, 32}) {
+  for (int n : benchutil::grid({8, 16, 32})) {
     Graph g = gnp(n, 3.0 / n, rng);
     plant_subgraph(g, complete_graph(3), rng);
     const bool truth = count_triangles(g) > 0;

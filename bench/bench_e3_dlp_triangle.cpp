@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   Table a({"n", "groups t", "rounds", "bits", "detected", "truth",
            "rounds/n^{1/3}"},
           {kP, kM, kM, kM, kM, kP, kM});
-  for (int n : {32, 64, 128, 256}) {
+  for (int n : benchutil::grid({32, 64, 128, 256})) {
     // Dense inputs: the algorithm's cost is dominated by routing the
     // Θ(n^{4/3}) edges each player's group triple spans, which is the
     // regime the n^{1/3} bound describes (sparse inputs sit at the
@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
            "rounds*T^{2/3}"},
           {kP, kP, kP, kM, kM, kM, kM});
   const int n = 128;
-  for (double density : {0.15, 0.3, 0.6}) {
+  for (double density : benchutil::grid<double>({0.15, 0.3, 0.6})) {
     Graph g = gnp(n, density, rng);
     const std::uint64_t t_actual = count_triangles(g);
     if (t_actual == 0) continue;

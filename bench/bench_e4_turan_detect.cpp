@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
            "rounds/pred", "verdict", "truth"},
           {kP, kP, kD, kM, kM, kD, kM, kM, kP});
   for (const auto& p : patterns) {
-    for (int n : {32, 64, 128}) {
+    for (int n : benchutil::grid({32, 64, 128})) {
       Graph g = gnp(n, 1.5 / n, rng);  // sparse: detection must reconstruct
       const bool truth = contains_subgraph(g, p.h);
       CliqueBroadcast net(n, b);

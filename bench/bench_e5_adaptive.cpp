@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   Table t({"input", "n", "rounds", "bits", "verdict", "truth", "k_i", "level j",
            "A-runs", "vs Thm7 rounds"},
           {kP, kP, kM, kM, kM, kP, kM, kM, kM, kM});
-  for (int n : {32, 64}) {
+  for (int n : benchutil::grid({32, 64})) {
     // H-free worst case: dense C4-free graph.
     Graph free_g = dense_cl_free_graph(n, 4, rng);
     // H-present: same plus a planted C4 (hard: still near-extremal).

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   Table t({"N", "n=4N", "|E_F|=N^2", "reduction ok", "avg DISJ bits",
            "LB rounds N^2/nb", "measured UB rounds", "UB/LB"},
           {kP, kP, kP, kM, kM, kD, kM, kM});
-  for (int big_n : {4, 8, 16, 32}) {
+  for (int big_n : benchutil::grid({4, 8, 16, 32})) {
     auto lbg = clique_lower_bound_graph(4, big_n);
     const std::size_t m = lbg.f.edges().size();
     int correct = 0;

@@ -33,8 +33,8 @@ int main(int argc, char** argv) {
   Table t({"l", "N", "n(G')", "|E_F|", "cut", "reduction ok",
            "BCAST LB rounds", "CONGEST LB rounds", "measured UB"},
           {kP, kP, kP, kP, kP, kM, kD, kD, kM});
-  for (int l : {4, 5, 6, 7}) {
-    for (int big_n : {8, 16, 32}) {
+  for (int l : benchutil::grid({4, 5, 6, 7})) {
+    for (int big_n : benchutil::grid({8, 16, 32})) {
       auto lbg = cycle_lower_bound_graph(l, big_n, rng);
       const std::size_t m = lbg.f.edges().size();
       if (m == 0) continue;

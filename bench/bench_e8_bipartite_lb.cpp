@@ -32,8 +32,8 @@ int main(int argc, char** argv) {
   Table t({"l=m", "N", "n(G')", "|E_F|", "|E_F|/N^{3/2}", "reduction ok",
            "LB rounds", "LB*b/sqrt(n)", "measured UB"},
           {kP, kP, kP, kP, kM, kM, kD, kD, kM});
-  for (int l : {2, 3}) {
-    for (int big_n : {16, 32, 64, 128}) {
+  for (int l : benchutil::grid({2, 3})) {
+    for (int big_n : benchutil::grid({16, 32, 64, 128})) {
       auto lbg = bipartite_lower_bound_graph(l, l, big_n);
       const std::size_t m = lbg.f.edges().size();
       if (m == 0) continue;

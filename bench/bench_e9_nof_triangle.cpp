@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   Table t({"param", "n(RS)", "triangles m", "m/n^2", "reduction ok",
            "avg NOF bits", "LB rounds m/(nb)", "LB*b/n"},
           {kP, kP, kP, kM, kM, kM, kD, kD});
-  for (int param : {8, 16, 32, 64, 128}) {
+  for (int param : benchutil::grid({8, 16, 32, 64, 128})) {
     const RuzsaSzemerediGraph rs = ruzsa_szemeredi_graph(param);
     const std::size_t m = rs.triangles.size();
     const double n = static_cast<double>(rs.graph.num_vertices());

@@ -43,6 +43,7 @@ struct TableRecord {
 
 struct Registry {
   std::string json_path;  // empty: JSON emission disabled
+  bool smoke = false;     // clip parameter grids to their smallest entry
   std::string id;
   std::string claim;
   std::vector<TableRecord> tables;
@@ -146,16 +147,34 @@ inline void append_row_object(std::string& out, const TableRecord& t,
 
 }  // namespace detail
 
-/// Parses harness flags; call first in main(). Currently only
-/// `--json=PATH` (unknown arguments are ignored so wrappers can pass
-/// extras through).
+/// Parses harness flags; call first in main(). Recognized: `--json=PATH`
+/// and `--smoke` (also enabled by CC_BENCH_SMOKE=1 in the environment, the
+/// hook the CI bench smoke job uses through ctest). Unknown arguments are
+/// ignored so wrappers can pass extras through.
 inline void init(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--json=", 0) == 0) {
       detail::registry().json_path = arg.substr(7);
+    } else if (arg == "--smoke") {
+      detail::registry().smoke = true;
     }
   }
+  const char* env = std::getenv("CC_BENCH_SMOKE");
+  if (env != nullptr && std::string(env) == "1") detail::registry().smoke = true;
+}
+
+/// True when the harness should run only its smallest parameter row(s).
+inline bool smoke() { return detail::registry().smoke; }
+
+/// Wraps a parameter list so `for (int n : grid({8, 16, 32}))` runs the full
+/// sweep normally but only the first (smallest) entry under --smoke /
+/// CC_BENCH_SMOKE=1. Harness loops list parameters smallest-first, so the
+/// smoke row is the cheapest one per bench.
+template <typename T>
+inline std::vector<T> grid(std::initializer_list<T> values) {
+  if (smoke() && values.size() > 1) return {*values.begin()};
+  return std::vector<T>(values);
 }
 
 /// Prints the experiment banner and records id/claim for the JSON header.

@@ -4,33 +4,53 @@
 
 namespace cclique {
 
-CliqueBroadcast::CliqueBroadcast(int n, int bandwidth)
-    : n_(n), bandwidth_(bandwidth) {
-  CC_REQUIRE(n >= 1, "need at least one player");
-  CC_REQUIRE(bandwidth >= 1, "bandwidth must be at least 1 bit");
-}
-
-void CliqueBroadcast::set_cut(std::vector<int> side) {
-  CC_REQUIRE(static_cast<int>(side.size()) == n_, "cut assignment size mismatch");
-  for (int s : side) CC_REQUIRE(s == 0 || s == 1, "cut side must be 0 or 1");
-  cut_side_ = std::move(side);
-}
+CliqueBroadcast::CliqueBroadcast(int n, int bandwidth) : core_(n, bandwidth) {}
 
 const std::vector<Message>& CliqueBroadcast::round(const BcastFn& bcast) {
-  board_.assign(static_cast<std::size_t>(n_), Message{});
-  for (int i = 0; i < n_; ++i) {
+  const int nn = n();
+  board_.assign(static_cast<std::size_t>(nn), Message{});
+  core_.send_phase([&](int i, PlayerCharge& charge) {
     Message msg = bcast(i);
-    CC_MODEL(msg.size_bits() <= static_cast<std::size_t>(bandwidth_),
-             "per-player bandwidth exceeded in CLIQUE-BCAST");
-    stats_.total_bits += msg.size_bits();
-    if (!msg.empty()) ++stats_.total_messages;
-    stats_.max_edge_bits_in_round =
-        std::max<std::uint64_t>(stats_.max_edge_bits_in_round, msg.size_bits());
-    if (!cut_side_.empty()) stats_.cut_bits += msg.size_bits();
+    core_.charge_broadcast(i, msg.size_bits(), charge,
+                           "per-player bandwidth exceeded in CLIQUE-BCAST");
     board_[static_cast<std::size_t>(i)] = std::move(msg);
-  }
-  ++stats_.rounds;
+  });
+  charge_reads();
   return board_;
+}
+
+void CliqueBroadcast::ensure_slots() {
+  if (slots_.empty()) slots_ = core_.borrow_slots(static_cast<std::size_t>(n()));
+}
+
+const std::vector<Message>& CliqueBroadcast::round_fill(const FillFn& fill) {
+  ensure_slots();
+  const int nn = n();
+  core_.send_phase([&](int i, PlayerCharge& charge) {
+    Message& slot = slots_[static_cast<std::size_t>(i)];
+    slot.clear();
+    fill(i, slot);
+    core_.charge_broadcast(i, slot.size_bits(), charge,
+                           "per-player bandwidth exceeded in CLIQUE-BCAST");
+  });
+  board_.resize(static_cast<std::size_t>(nn));
+  for (int i = 0; i < nn; ++i) {
+    board_[static_cast<std::size_t>(i)] =
+        Message::alias(slots_[static_cast<std::size_t>(i)]);
+  }
+  charge_reads();
+  return board_;
+}
+
+void CliqueBroadcast::charge_reads() {
+  // Every written bit is read by the other n-1 players: player i's receive
+  // load this round is the board total minus its own write.
+  const int nn = n();
+  std::uint64_t total = 0;
+  for (const Message& m : board_) total += m.size_bits();
+  for (int i = 0; i < nn; ++i) {
+    core_.charge_receive(i, total - board_[static_cast<std::size_t>(i)].size_bits());
+  }
 }
 
 std::vector<Message> broadcast_payloads(CliqueBroadcast& net,
@@ -43,16 +63,18 @@ std::vector<Message> broadcast_payloads(CliqueBroadcast& net,
   for (const auto& p : payloads) max_len = std::max(max_len, p.size_bits());
   const int rounds = static_cast<int>((max_len + b - 1) / b);
   std::vector<Message> assembled(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    assembled[static_cast<std::size_t>(i)].reserve_bits(
+        payloads[static_cast<std::size_t>(i)].size_bits());
+  }
   for (int r = 0; r < rounds; ++r) {
     const std::size_t offset = static_cast<std::size_t>(r) * b;
-    const auto& board = net.round([&](int i) {
+    const auto& board = net.round_fill([&](int i, Message& chunk) {
       const Message& full = payloads[static_cast<std::size_t>(i)];
-      Message chunk;
       if (offset < full.size_bits()) {
         const std::size_t take = std::min(b, full.size_bits() - offset);
-        for (std::size_t t = 0; t < take; ++t) chunk.push_bit(full.get(offset + t));
+        chunk.append_slice(full, offset, take);
       }
-      return chunk;
     });
     for (int i = 0; i < n; ++i) {
       assembled[static_cast<std::size_t>(i)].append(board[static_cast<std::size_t>(i)]);

@@ -5,11 +5,17 @@
 // shared-blackboard model (Section 3 of the paper). Only Θ(nb) unique bits
 // cross any cut per round, which is what re-enables the bottleneck lower
 // bounds of Section 3.2.
+//
+// Built on the shared metered transport core (comm/engine.h): broadcast
+// callbacks may run concurrently (CC_THREADS) with bit-identical
+// accounting, and the arena-backed round_fill path performs O(1) heap
+// allocations per round.
 #pragma once
 
 #include <functional>
 #include <vector>
 
+#include "comm/engine.h"
 #include "comm/model.h"
 #include "util/check.h"
 
@@ -20,8 +26,8 @@ class CliqueBroadcast {
  public:
   CliqueBroadcast(int n, int bandwidth);
 
-  int n() const { return n_; }
-  int bandwidth() const { return bandwidth_; }
+  int n() const { return core_.n(); }
+  int bandwidth() const { return core_.bandwidth(); }
 
   /// Broadcast callback: player i returns its <= b-bit broadcast.
   using BcastFn = std::function<Message(int player)>;
@@ -30,23 +36,35 @@ class CliqueBroadcast {
   /// index i). All players may read the returned row — that is the model.
   const std::vector<Message>& round(const BcastFn& bcast);
 
-  /// The blackboard row of the most recent round.
+  /// Broadcast-filling callback for the arena-backed fast path: append
+  /// player i's broadcast into `out` (initially empty, capacity bandwidth()
+  /// bits; overflow throws ModelViolation immediately).
+  using FillFn = std::function<void(int player, Message& out)>;
+
+  /// round() without per-round heap allocation: the blackboard row lives in
+  /// the engine's arena. Accounting is identical to round().
+  const std::vector<Message>& round_fill(const FillFn& fill);
+
+  /// The blackboard row of the most recent round. Valid until the next
+  /// round begins (round_fill reuses the storage).
   const std::vector<Message>& last_round() const { return board_; }
 
   /// Registers a 2-party partition for cut accounting: a broadcast bit by a
   /// side-0 player costs one bit toward side 1 (and vice versa), because in
   /// a 2-party simulation each written bit must be shipped across once.
-  void set_cut(std::vector<int> side);
+  void set_cut(std::vector<int> side) { core_.set_cut(std::move(side)); }
 
-  const CommStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = CommStats{}; }
+  const CommStats& stats() const { return core_.stats(); }
+  void reset_stats() { core_.reset_stats(); }
 
  private:
-  int n_;
-  int bandwidth_;
-  std::vector<int> cut_side_;
+  void ensure_slots();
+  void charge_reads();
+
+  EngineCore core_;
   std::vector<Message> board_;
-  CommStats stats_;
+  /// round_fill blackboard slots, borrowed from the arena (allocated once).
+  std::vector<Message> slots_;
 };
 
 /// Broadcasts arbitrarily long per-player payloads by chunking into

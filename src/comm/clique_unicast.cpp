@@ -4,53 +4,87 @@
 
 namespace cclique {
 
-CliqueUnicast::CliqueUnicast(int n, int bandwidth) : n_(n), bandwidth_(bandwidth) {
-  CC_REQUIRE(n >= 1, "need at least one player");
-  CC_REQUIRE(bandwidth >= 1, "bandwidth must be at least 1 bit");
-}
-
-void CliqueUnicast::set_cut(std::vector<int> side) {
-  CC_REQUIRE(static_cast<int>(side.size()) == n_, "cut assignment size mismatch");
-  for (int s : side) CC_REQUIRE(s == 0 || s == 1, "cut side must be 0 or 1");
-  cut_side_ = std::move(side);
-}
+CliqueUnicast::CliqueUnicast(int n, int bandwidth) : core_(n, bandwidth) {}
 
 void CliqueUnicast::round(const SendFn& send, const RecvFn& recv) {
   // Collect and validate all outboxes before any delivery: a synchronous
-  // round means sends are based on pre-round state only.
-  std::vector<std::vector<Message>> out;
-  out.reserve(static_cast<std::size_t>(n_));
-  for (int i = 0; i < n_; ++i) {
+  // round means sends are based on pre-round state only. Send callbacks may
+  // run concurrently (see comm/engine.h for the determinism contract).
+  const int nn = n();
+  legacy_out_.resize(static_cast<std::size_t>(nn));
+  core_.send_phase([&](int i, PlayerCharge& charge) {
     std::vector<Message> box = send(i);
-    CC_MODEL(static_cast<int>(box.size()) == n_,
+    CC_MODEL(static_cast<int>(box.size()) == nn,
              "outbox must have one slot per player");
-    for (int j = 0; j < n_; ++j) {
+    for (int j = 0; j < nn; ++j) {
       const Message& msg = box[static_cast<std::size_t>(j)];
       if (j == i) {
         CC_MODEL(msg.empty(), "players cannot message themselves");
         continue;
       }
-      CC_MODEL(msg.size_bits() <= static_cast<std::size_t>(bandwidth_),
-               "per-edge bandwidth exceeded in CLIQUE-UCAST");
-      stats_.total_bits += msg.size_bits();
-      if (!msg.empty()) ++stats_.total_messages;
-      stats_.max_edge_bits_in_round =
-          std::max<std::uint64_t>(stats_.max_edge_bits_in_round, msg.size_bits());
-      if (!cut_side_.empty() &&
-          cut_side_[static_cast<std::size_t>(i)] != cut_side_[static_cast<std::size_t>(j)]) {
-        stats_.cut_bits += msg.size_bits();
-      }
+      core_.charge_message(i, j, msg.size_bits(), charge,
+                           "per-edge bandwidth exceeded in CLIQUE-UCAST");
     }
-    out.push_back(std::move(box));
+    legacy_out_[static_cast<std::size_t>(i)] = std::move(box);
+  });
+  deliver(legacy_out_, recv);
+}
+
+void CliqueUnicast::ensure_slots() {
+  if (slots_.empty()) {
+    const std::size_t nn = static_cast<std::size_t>(n());
+    slots_ = core_.borrow_slots(nn * nn);
   }
-  ++stats_.rounds;
-  // Deliver: inbox[j] for receiver r is out[j][r].
-  std::vector<Message> inbox(static_cast<std::size_t>(n_));
-  for (int r = 0; r < n_; ++r) {
-    for (int j = 0; j < n_; ++j) {
-      inbox[static_cast<std::size_t>(j)] = out[static_cast<std::size_t>(j)][static_cast<std::size_t>(r)];
+}
+
+void CliqueUnicast::round_fill(const FillFn& fill, const RecvFn& recv) {
+  ensure_slots();
+  const int nn = n();
+  core_.send_phase([&](int i, PlayerCharge& charge) {
+    Message* box = &slots_[static_cast<std::size_t>(i) * static_cast<std::size_t>(nn)];
+    for (int j = 0; j < nn; ++j) box[j].clear();
+    fill(i, box);
+    for (int j = 0; j < nn; ++j) {
+      if (j == i) {
+        CC_MODEL(box[j].empty(), "players cannot message themselves");
+        continue;
+      }
+      core_.charge_message(i, j, box[j].size_bits(), charge,
+                           "per-edge bandwidth exceeded in CLIQUE-UCAST");
     }
-    recv(r, inbox);
+  });
+  // Zero-copy delivery: receiver r's inbox aliases column r of the outbox
+  // matrix. Serial, player order (see comm/engine.h).
+  inbox_.resize(static_cast<std::size_t>(nn));
+  for (int r = 0; r < nn; ++r) {
+    std::uint64_t recv_bits = 0;
+    for (int j = 0; j < nn; ++j) {
+      const Message& msg =
+          slots_[static_cast<std::size_t>(j) * static_cast<std::size_t>(nn) +
+                 static_cast<std::size_t>(r)];
+      recv_bits += msg.size_bits();
+      inbox_[static_cast<std::size_t>(j)] = Message::alias(msg);
+    }
+    core_.charge_receive(r, recv_bits);
+    recv(r, inbox_);
+  }
+}
+
+void CliqueUnicast::deliver(std::vector<std::vector<Message>>& out,
+                            const RecvFn& recv) {
+  const int nn = n();
+  inbox_.resize(static_cast<std::size_t>(nn));
+  for (int r = 0; r < nn; ++r) {
+    std::uint64_t recv_bits = 0;
+    for (int j = 0; j < nn; ++j) {
+      // Each message is delivered to exactly one receiver, so moving it out
+      // of the outbox matrix is safe and saves the per-message copy.
+      inbox_[static_cast<std::size_t>(j)] =
+          std::move(out[static_cast<std::size_t>(j)][static_cast<std::size_t>(r)]);
+      recv_bits += inbox_[static_cast<std::size_t>(j)].size_bits();
+    }
+    core_.charge_receive(r, recv_bits);
+    recv(r, inbox_);
   }
 }
 
@@ -66,27 +100,34 @@ int unicast_payloads(CliqueUnicast& net,
     for (const auto& msg : row) max_len = std::max(max_len, msg.size_bits());
   }
   received->assign(static_cast<std::size_t>(n), std::vector<Message>(static_cast<std::size_t>(n)));
+  // Preallocate the assembly buffers: every received stream's final length
+  // is known up front, so the chunk rounds below never reallocate.
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      (*received)[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)].reserve_bits(
+          payload[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)].size_bits());
+    }
+  }
   const int rounds = static_cast<int>((max_len + b - 1) / b);
   for (int r = 0; r < rounds; ++r) {
     const std::size_t offset = static_cast<std::size_t>(r) * b;
-    net.round(
-        [&](int i) {
-          std::vector<Message> box(static_cast<std::size_t>(n));
+    net.round_fill(
+        [&](int i, Message* box) {
           for (int j = 0; j < n; ++j) {
             if (j == i) continue;
             const Message& full = payload[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
             if (offset >= full.size_bits()) continue;
             const std::size_t take = std::min(b, full.size_bits() - offset);
-            Message chunk;
-            for (std::size_t t = 0; t < take; ++t) chunk.push_bit(full.get(offset + t));
-            box[static_cast<std::size_t>(j)] = std::move(chunk);
+            box[j].append_slice(full, offset, take);
           }
-          return box;
         },
         [&](int receiver, const std::vector<Message>& inbox) {
           for (int j = 0; j < n; ++j) {
-            (*received)[static_cast<std::size_t>(receiver)][static_cast<std::size_t>(j)]
-                .append(inbox[static_cast<std::size_t>(j)]);
+            const Message& chunk = inbox[static_cast<std::size_t>(j)];
+            if (!chunk.empty()) {
+              (*received)[static_cast<std::size_t>(receiver)][static_cast<std::size_t>(j)]
+                  .append(chunk);
+            }
           }
         });
   }

@@ -4,11 +4,16 @@
 // may carry a message of at most b bits from i to j — players may send
 // *different* messages on different links (Θ(n^2 b) bits/round total
 // capacity). This is the model of Sections 1–2 of the paper.
+//
+// Built on the shared metered transport core (comm/engine.h): send callbacks
+// may run concurrently (CC_THREADS) with bit-identical accounting, and the
+// arena-backed round_fill path performs O(1) heap allocations per round.
 #pragma once
 
 #include <functional>
 #include <vector>
 
+#include "comm/engine.h"
 #include "comm/model.h"
 #include "util/check.h"
 
@@ -20,8 +25,8 @@ class CliqueUnicast {
   /// n >= 1 players, per-edge per-round bandwidth `bandwidth` >= 1 bits.
   CliqueUnicast(int n, int bandwidth);
 
-  int n() const { return n_; }
-  int bandwidth() const { return bandwidth_; }
+  int n() const { return core_.n(); }
+  int bandwidth() const { return core_.bandwidth(); }
 
   /// Sender callback: given a player id, return its outbox — a vector of n
   /// messages where slot j is the message for player j (empty = nothing).
@@ -30,25 +35,44 @@ class CliqueUnicast {
   using SendFn = std::function<std::vector<Message>(int player)>;
 
   /// Receiver callback: inbox[j] is the message player j sent this round.
+  /// The inbox (and any borrowed messages in it) is valid only for the
+  /// duration of the callback — copy what must outlive it.
   using RecvFn = std::function<void(int player, const std::vector<Message>& inbox)>;
 
   /// Executes one synchronous round.
   void round(const SendFn& send, const RecvFn& recv);
 
+  /// Outbox-filling callback for the arena-backed fast path: `outbox` points
+  /// at n engine-owned messages (initially empty, capacity bandwidth()
+  /// bits); append to outbox[j] to address player j. Writing past the
+  /// capacity throws ModelViolation immediately.
+  using FillFn = std::function<void(int player, Message* outbox)>;
+
+  /// Executes one round without per-round heap allocation: outboxes live in
+  /// the engine's arena and inboxes alias them (zero-copy delivery).
+  /// Semantics and accounting are identical to round().
+  void round_fill(const FillFn& fill, const RecvFn& recv);
+
   /// Registers a 2-party partition (side[i] in {0,1}) so stats().cut_bits
   /// accumulates the bits crossing it — the quantity 2-party reductions pay.
-  void set_cut(std::vector<int> side);
+  void set_cut(std::vector<int> side) { core_.set_cut(std::move(side)); }
 
-  const CommStats& stats() const { return stats_; }
+  const CommStats& stats() const { return core_.stats(); }
 
   /// Resets accounting (not the cut registration).
-  void reset_stats() { stats_ = CommStats{}; }
+  void reset_stats() { core_.reset_stats(); }
 
  private:
-  int n_;
-  int bandwidth_;
-  std::vector<int> cut_side_;
-  CommStats stats_;
+  void ensure_slots();
+  void deliver(std::vector<std::vector<Message>>& out, const RecvFn& recv);
+
+  EngineCore core_;
+  /// round_fill outbox matrix: slot i*n+j is the message i -> j, borrowed
+  /// from the arena (allocated once — the engine's geometry is fixed).
+  std::vector<Message> slots_;
+  /// Legacy-path outbox collection and the reused delivery inbox.
+  std::vector<std::vector<Message>> legacy_out_;
+  std::vector<Message> inbox_;
 };
 
 /// Delivers arbitrarily long per-edge payloads by chunking them into

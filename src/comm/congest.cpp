@@ -5,55 +5,50 @@
 namespace cclique {
 
 CongestUnicast::CongestUnicast(const Graph& topology, int bandwidth)
-    : topology_(topology), bandwidth_(bandwidth) {
-  CC_REQUIRE(topology.num_vertices() >= 1, "need at least one node");
-  CC_REQUIRE(bandwidth >= 1, "bandwidth must be at least 1 bit");
-}
-
-void CongestUnicast::set_cut(std::vector<int> side) {
-  CC_REQUIRE(static_cast<int>(side.size()) == n(), "cut assignment size mismatch");
-  for (int s : side) CC_REQUIRE(s == 0 || s == 1, "cut side must be 0 or 1");
-  cut_side_ = std::move(side);
+    : topology_(topology), core_(topology.num_vertices(), bandwidth) {
+  const int nv = n();
+  reverse_slot_.resize(static_cast<std::size_t>(nv));
+  for (int v = 0; v < nv; ++v) {
+    const auto& nbrs = topology_.neighbors(v);
+    auto& rev = reverse_slot_[static_cast<std::size_t>(v)];
+    rev.resize(nbrs.size());
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const auto& unbrs = topology_.neighbors(nbrs[k]);
+      const auto it = std::lower_bound(unbrs.begin(), unbrs.end(), v);
+      CC_CHECK(it != unbrs.end() && *it == v, "topology adjacency inconsistent");
+      rev[k] = static_cast<std::size_t>(it - unbrs.begin());
+    }
+  }
 }
 
 void CongestUnicast::round(const SendFn& send, const RecvFn& recv) {
   const int nv = n();
-  std::vector<std::vector<Message>> out(static_cast<std::size_t>(nv));
-  for (int v = 0; v < nv; ++v) {
+  out_.resize(static_cast<std::size_t>(nv));
+  core_.send_phase([&](int v, PlayerCharge& charge) {
     const auto& nbrs = topology_.neighbors(v);
     std::vector<Message> box = send(v);
     CC_MODEL(box.size() == nbrs.size(),
              "CONGEST outbox must have one slot per incident edge");
     for (std::size_t k = 0; k < nbrs.size(); ++k) {
-      const Message& msg = box[k];
-      CC_MODEL(msg.size_bits() <= static_cast<std::size_t>(bandwidth_),
-               "per-edge bandwidth exceeded in CONGEST");
-      stats_.total_bits += msg.size_bits();
-      if (!msg.empty()) ++stats_.total_messages;
-      stats_.max_edge_bits_in_round =
-          std::max<std::uint64_t>(stats_.max_edge_bits_in_round, msg.size_bits());
-      if (!cut_side_.empty() &&
-          cut_side_[static_cast<std::size_t>(v)] !=
-              cut_side_[static_cast<std::size_t>(nbrs[k])]) {
-        stats_.cut_bits += msg.size_bits();
-      }
+      core_.charge_message(v, nbrs[k], box[k].size_bits(), charge,
+                           "per-edge bandwidth exceeded in CONGEST");
     }
-    out[static_cast<std::size_t>(v)] = std::move(box);
-  }
-  ++stats_.rounds;
+    out_[static_cast<std::size_t>(v)] = std::move(box);
+  });
   for (int v = 0; v < nv; ++v) {
     const auto& nbrs = topology_.neighbors(v);
-    std::vector<Message> inbox(nbrs.size());
+    inbox_.resize(nbrs.size());
+    std::uint64_t recv_bits = 0;
     for (std::size_t k = 0; k < nbrs.size(); ++k) {
       const int u = nbrs[k];
-      // Find v's slot in u's outbox (v's index among u's neighbors).
-      const auto& unbrs = topology_.neighbors(u);
-      const auto it = std::lower_bound(unbrs.begin(), unbrs.end(), v);
-      CC_CHECK(it != unbrs.end() && *it == v, "topology adjacency inconsistent");
-      const std::size_t slot = static_cast<std::size_t>(it - unbrs.begin());
-      inbox[k] = out[static_cast<std::size_t>(u)][slot];
+      // v's slot in u's outbox, precomputed in the constructor. Each
+      // message has exactly one receiver, so moving it out is safe.
+      inbox_[k] = std::move(
+          out_[static_cast<std::size_t>(u)][reverse_slot_[static_cast<std::size_t>(v)][k]]);
+      recv_bits += inbox_[k].size_bits();
     }
-    recv(v, inbox);
+    core_.charge_receive(v, recv_bits);
+    recv(v, inbox_);
   }
 }
 

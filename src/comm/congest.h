@@ -4,11 +4,15 @@
 // input graph G, so a round carries at most b bits per direction on each
 // graph edge. Used by the δ-sparse lower bounds of Definition 12 /
 // Lemma 13 and by the in-network 4-cycle detection upper bound.
+//
+// Built on the shared metered transport core (comm/engine.h): send callbacks
+// may run concurrently (CC_THREADS) with bit-identical accounting.
 #pragma once
 
 #include <functional>
 #include <vector>
 
+#include "comm/engine.h"
 #include "comm/model.h"
 #include "graph/graph.h"
 #include "util/check.h"
@@ -20,8 +24,8 @@ class CongestUnicast {
  public:
   CongestUnicast(const Graph& topology, int bandwidth);
 
-  int n() const { return topology_.num_vertices(); }
-  int bandwidth() const { return bandwidth_; }
+  int n() const { return core_.n(); }
+  int bandwidth() const { return core_.bandwidth(); }
   const Graph& topology() const { return topology_; }
 
   /// Outbox layout: one slot per *neighbor index* in
@@ -34,16 +38,19 @@ class CongestUnicast {
   void round(const SendFn& send, const RecvFn& recv);
 
   /// Registers a vertex bipartition; cut_bits accumulates bits on cut edges.
-  void set_cut(std::vector<int> side);
+  void set_cut(std::vector<int> side) { core_.set_cut(std::move(side)); }
 
-  const CommStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = CommStats{}; }
+  const CommStats& stats() const { return core_.stats(); }
+  void reset_stats() { core_.reset_stats(); }
 
  private:
   Graph topology_;
-  int bandwidth_;
-  std::vector<int> cut_side_;
-  CommStats stats_;
+  EngineCore core_;
+  /// reverse_slot_[v][k]: v's index among the neighbors of its k-th
+  /// neighbor. Precomputed so delivery is O(degree) per node per round.
+  std::vector<std::vector<std::size_t>> reverse_slot_;
+  std::vector<std::vector<Message>> out_;
+  std::vector<Message> inbox_;
 };
 
 }  // namespace cclique

@@ -1,0 +1,211 @@
+// The metered transport core shared by every communication engine.
+//
+// All four engines (CLIQUE-UCAST, CLIQUE-BCAST, CONGEST, and the two-party /
+// NOF meters) used to re-implement the same loop: pull per-player messages,
+// validate them against the model's bandwidth rule, account every bit, and
+// deliver. EngineCore owns that loop once — bandwidth validation, CommStats
+// accounting (including the per-player vectors), cut tracking, a per-round
+// payload arena, and a deterministic parallel scheduler for the send phase.
+//
+// Determinism contract (DESIGN.md §2.1): send callbacks are independent by
+// the locality discipline (comm/model.h), so send_phase may run them on a
+// thread pool sized by CC_THREADS (default: hardware concurrency; 1 =
+// serial, the pre-parallel behavior). Each player's charges accumulate into
+// that player's private PlayerCharge slot and are committed to the engine's
+// CommStats *serially in player order* after the phase, so every CommStats
+// field is bit-identical at any thread count. If callbacks throw, every
+// player still runs (no early cancel — which callbacks executed must not
+// depend on scheduling), nothing is committed, and the exception of the
+// lowest-numbered player is rethrown. Delivery (receive callbacks) is
+// always serial in player order.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "comm/model.h"
+#include "util/arena.h"
+#include "util/check.h"
+
+namespace cclique {
+
+/// Worker count for the engines' send phase: CC_THREADS when set to a
+/// positive integer, otherwise the hardware concurrency (at least 1).
+/// Unparseable values fall back to 1 (serial).
+int cc_thread_count();
+
+/// A pool of persistent worker threads executing indexed tasks. With
+/// `threads` == 1 no workers are spawned and run_indexed degenerates to the
+/// serial loop. The calling thread always participates. One job runs at a
+/// time; concurrent run_indexed callers serialize on an internal mutex, so
+/// a pool may be shared between engines.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  /// Runs fn(i) for every i in [0, count), possibly concurrently; blocks
+  /// until all indices completed. Every index runs even if some throw; the
+  /// exception raised by the lowest index is rethrown afterwards.
+  void run_indexed(int count, const std::function<void(int)>& fn);
+
+ private:
+  struct Shared;
+  int threads_;
+  std::unique_ptr<Shared> shared_;
+};
+
+/// Process-wide pool cache keyed by thread count: engines are created by
+/// the hundreds in bench sweeps, and spawning (and joining) a fresh set of
+/// workers per engine would dominate exactly the wall-clock the pool is
+/// meant to save. Pools persist for the process lifetime.
+std::shared_ptr<ThreadPool> shared_thread_pool(int threads);
+
+/// Per-player accounting scratch for one send phase. Filled by the owning
+/// player's task (possibly on a worker thread), committed serially.
+struct PlayerCharge {
+  std::uint64_t bits = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t cut_bits = 0;
+  std::uint64_t max_edge_bits = 0;
+
+  void reset() { *this = PlayerCharge{}; }
+};
+
+/// The shared metered-transport state machine. Engines compose one of these
+/// and translate their model's round shape onto it.
+class EngineCore {
+ public:
+  /// n >= 1 players, per-message bandwidth cap `bandwidth` >= 1 bits.
+  EngineCore(int n, int bandwidth);
+
+  EngineCore(const EngineCore&) = delete;
+  EngineCore& operator=(const EngineCore&) = delete;
+
+  int n() const { return n_; }
+  int bandwidth() const { return bandwidth_; }
+
+  void set_cut(std::vector<int> side);
+  bool has_cut() const { return !cut_side_.empty(); }
+
+  const CommStats& stats() const { return stats_; }
+  void reset_stats();
+
+  /// Per-round payload scratch. The engines re-borrow their outbox slots
+  /// from it; protocols must not hold arena-backed messages across rounds.
+  Arena& arena() { return arena_; }
+
+  /// Borrows `count` empty message slots from the arena, each with capacity
+  /// bandwidth() bits — the outbox geometry of every round_fill path. The
+  /// storage lives as long as the engine (the geometry is fixed), so this
+  /// is called once per engine.
+  std::vector<Message> borrow_slots(std::size_t count) {
+    const std::size_t words_per_msg =
+        (static_cast<std::size_t>(bandwidth_) + 63) / 64;
+    std::uint64_t* base = arena_.alloc_words(count * words_per_msg);
+    std::vector<Message> slots;
+    slots.reserve(count);
+    for (std::size_t s = 0; s < count; ++s) {
+      slots.push_back(Message::borrow(base + s * words_per_msg,
+                                      static_cast<std::size_t>(bandwidth_)));
+    }
+    return slots;
+  }
+
+  /// Validates one `bits`-bit message from `sender` to `receiver` against
+  /// the bandwidth cap and accumulates it into `c` (and the sender's cut
+  /// charge when the registered cut separates the endpoints). `what` names
+  /// the violated rule in the ModelViolation message.
+  void charge_message(int sender, int receiver, std::size_t bits,
+                      PlayerCharge& c, const char* what) const {
+    CC_MODEL(bits <= static_cast<std::size_t>(bandwidth_), what);
+    c.bits += bits;
+    if (bits != 0) ++c.messages;
+    if (bits > c.max_edge_bits) c.max_edge_bits = bits;
+    if (!cut_side_.empty() &&
+        cut_side_[static_cast<std::size_t>(sender)] !=
+            cut_side_[static_cast<std::size_t>(receiver)]) {
+      c.cut_bits += bits;
+    }
+  }
+
+  /// Broadcast variant: every written bit crosses the cut once (a 2-party
+  /// simulation ships each blackboard bit across exactly once).
+  void charge_broadcast(int /*sender*/, std::size_t bits, PlayerCharge& c,
+                        const char* what) const {
+    CC_MODEL(bits <= static_cast<std::size_t>(bandwidth_), what);
+    c.bits += bits;
+    if (bits != 0) ++c.messages;
+    if (bits > c.max_edge_bits) c.max_edge_bits = bits;
+    if (!cut_side_.empty()) c.cut_bits += bits;
+  }
+
+  /// The send phase of one round: runs fn(player, charge) for every player
+  /// (parallel when CC_THREADS > 1), then — iff no callback threw — commits
+  /// all charges in player order and increments stats().rounds. On any
+  /// exception the round charges nothing and the lowest-player exception
+  /// propagates (see the determinism contract above).
+  void send_phase(const std::function<void(int, PlayerCharge&)>& fn);
+
+  /// Records bits landing at `receiver` (delivery is serial, player order).
+  void charge_receive(int receiver, std::uint64_t bits) {
+    stats_.per_player_recv_bits[static_cast<std::size_t>(receiver)] += bits;
+  }
+
+ private:
+  int n_;
+  int bandwidth_;
+  std::vector<int> cut_side_;
+  CommStats stats_;
+  Arena arena_;
+  std::vector<PlayerCharge> charges_;
+  std::shared_ptr<ThreadPool> pool_;  ///< bound on first send_phase
+};
+
+/// Shared meter for the k-party reduction substrates (two-party channel,
+/// NOF blackboard): per-party bit counts plus a message tally. These models
+/// charge transcripts, not rounds, so they meter directly instead of going
+/// through send_phase.
+class PartyMeter {
+ public:
+  explicit PartyMeter(int parties)
+      : bits_(static_cast<std::size_t>(parties), 0) {
+    CC_REQUIRE(parties >= 1, "need at least one party");
+  }
+
+  /// Raw bit charge (bulk accounting; no message tally).
+  void charge(int who, std::uint64_t bits) {
+    CC_REQUIRE(who >= 0 && who < static_cast<int>(bits_.size()),
+               "party id out of range");
+    bits_[static_cast<std::size_t>(who)] += bits;
+    total_ += bits;
+  }
+
+  /// Charges one discrete message of `bits` bits.
+  void charge_message(int who, std::uint64_t bits) {
+    charge(who, bits);
+    ++messages_;
+  }
+
+  std::uint64_t bits_by(int who) const {
+    CC_REQUIRE(who >= 0 && who < static_cast<int>(bits_.size()),
+               "party id out of range");
+    return bits_[static_cast<std::size_t>(who)];
+  }
+  std::uint64_t total_bits() const { return total_; }
+  std::uint64_t messages() const { return messages_; }
+
+ private:
+  std::vector<std::uint64_t> bits_;
+  std::uint64_t total_ = 0;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace cclique

@@ -11,9 +11,14 @@
 // this in-process; the protocol implementations in src/core and
 // src/lowerbound follow it by construction (per-player state structs), and
 // the tests include adversarial checks on the engine's accounting itself.
+// Because send callbacks are local by contract, the transport core
+// (comm/engine.h) may run them concurrently (CC_THREADS); a callback that
+// touches shared mutable state breaks the discipline *and* the scheduler.
+// Receive callbacks are always invoked serially in player order.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "util/bitvec.h"
 
@@ -23,6 +28,11 @@ namespace cclique {
 using Message = BitVec;
 
 /// Cumulative communication accounting for one protocol execution.
+///
+/// Determinism contract: every field is a sum or max over per-(player,
+/// message) charges, each computed from the message alone, and the
+/// transport core commits charges in player order — so stats are
+/// bit-identical at every CC_THREADS setting.
 struct CommStats {
   /// Synchronous rounds elapsed.
   int rounds = 0;
@@ -34,6 +44,23 @@ struct CommStats {
   std::uint64_t cut_bits = 0;
   /// Maximum bits observed on any single directed edge in a single round.
   std::uint64_t max_edge_bits_in_round = 0;
+  /// Bits sent by each player, summed over all rounds (unicast: over its
+  /// n-1 out-links; broadcast: its blackboard writes; CONGEST: its incident
+  /// edges). Sized n by the engine; sums to total_bits.
+  std::vector<std::uint64_t> per_player_sent_bits;
+  /// Bits received by each player, summed over all rounds. For broadcast
+  /// this counts every other player's writes (each written bit is read by
+  /// all n-1 others), so the vector sums to (n-1) * total_bits there.
+  std::vector<std::uint64_t> per_player_recv_bits;
+
+  bool operator==(const CommStats& o) const {
+    return rounds == o.rounds && total_bits == o.total_bits &&
+           total_messages == o.total_messages && cut_bits == o.cut_bits &&
+           max_edge_bits_in_round == o.max_edge_bits_in_round &&
+           per_player_sent_bits == o.per_player_sent_bits &&
+           per_player_recv_bits == o.per_player_recv_bits;
+  }
+  bool operator!=(const CommStats& o) const { return !(*this == o); }
 };
 
 }  // namespace cclique

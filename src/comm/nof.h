@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "comm/engine.h"
 #include "comm/model.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -43,25 +44,18 @@ NofDisjointnessInstance random_nof_intersecting(std::size_t m, double density,
                                                 Rng& rng);
 
 /// Metered shared blackboard for the NOF simulation; every written bit is
-/// charged to the protocol's communication complexity.
+/// charged to the protocol's communication complexity. A thin wrapper over
+/// the transport core's PartyMeter (comm/engine.h).
 class NofBlackboard {
  public:
   /// Player `who` (0, 1, 2) appends a message to the board.
-  void write(int who, const Message& m) {
-    CC_REQUIRE(who >= 0 && who < 3, "NOF player id out of range");
-    bits_[static_cast<std::size_t>(who)] += m.size_bits();
-    total_ += m.size_bits();
-  }
+  void write(int who, const Message& m) { meter_.charge_message(who, m.size_bits()); }
 
-  std::uint64_t total_bits() const { return total_; }
-  std::uint64_t bits_by(int who) const {
-    CC_REQUIRE(who >= 0 && who < 3, "NOF player id out of range");
-    return bits_[static_cast<std::size_t>(who)];
-  }
+  std::uint64_t total_bits() const { return meter_.total_bits(); }
+  std::uint64_t bits_by(int who) const { return meter_.bits_by(who); }
 
  private:
-  std::uint64_t bits_[3] = {0, 0, 0};
-  std::uint64_t total_ = 0;
+  PartyMeter meter_{3};
 };
 
 }  // namespace cclique

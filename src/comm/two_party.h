@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "comm/engine.h"
 #include "comm/model.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -46,30 +47,23 @@ DisjointnessInstance random_intersecting_instance(std::size_t n, double density,
 
 /// Metered 2-party channel: both players append messages; the meter records
 /// who sent how much. Reductions built on top of simulated clique protocols
-/// report their cost through this object.
+/// report their cost through this object. A thin wrapper over the transport
+/// core's PartyMeter (comm/engine.h).
 class TwoPartyChannel {
  public:
-  void send_from_alice(const Message& m) {
-    alice_bits_ += m.size_bits();
-    ++messages_;
-  }
-  void send_from_bob(const Message& m) {
-    bob_bits_ += m.size_bits();
-    ++messages_;
-  }
+  void send_from_alice(const Message& m) { meter_.charge_message(0, m.size_bits()); }
+  void send_from_bob(const Message& m) { meter_.charge_message(1, m.size_bits()); }
   /// Convenience for raw accounting when a reduction computes cost in bulk.
-  void charge_alice(std::uint64_t bits) { alice_bits_ += bits; }
-  void charge_bob(std::uint64_t bits) { bob_bits_ += bits; }
+  void charge_alice(std::uint64_t bits) { meter_.charge(0, bits); }
+  void charge_bob(std::uint64_t bits) { meter_.charge(1, bits); }
 
-  std::uint64_t alice_bits() const { return alice_bits_; }
-  std::uint64_t bob_bits() const { return bob_bits_; }
-  std::uint64_t total_bits() const { return alice_bits_ + bob_bits_; }
-  std::uint64_t messages() const { return messages_; }
+  std::uint64_t alice_bits() const { return meter_.bits_by(0); }
+  std::uint64_t bob_bits() const { return meter_.bits_by(1); }
+  std::uint64_t total_bits() const { return meter_.total_bits(); }
+  std::uint64_t messages() const { return meter_.messages(); }
 
  private:
-  std::uint64_t alice_bits_ = 0;
-  std::uint64_t bob_bits_ = 0;
-  std::uint64_t messages_ = 0;
+  PartyMeter meter_{2};
 };
 
 /// The trivial deterministic upper bound: Alice ships her whole

@@ -9,22 +9,6 @@ namespace cclique {
 
 namespace {
 
-Message serialize_sketch(const NodeSketch& s, int n) {
-  Message m;
-  m.push_uint(s.degree, bits_for(static_cast<std::uint64_t>(n) + 1));
-  for (std::uint64_t p : s.power_sums) m.push_uint(p, 61);
-  return m;
-}
-
-NodeSketch deserialize_sketch(const Message& m, int k, int n) {
-  BitReader r(m);
-  NodeSketch s;
-  s.degree = r.read_uint(bits_for(static_cast<std::uint64_t>(n) + 1));
-  s.power_sums.resize(static_cast<std::size_t>(2 * k));
-  for (auto& p : s.power_sums) p = r.read_uint(61);
-  return s;
-}
-
 // One invocation of algorithm A(G_j, k): sketch broadcasts + referee
 // reconstruction, all through the metered engine.
 ReconstructionResult run_algorithm_a(CliqueBroadcast& net, const Graph& gj, int k) {

@@ -21,28 +21,38 @@ CongestC4Result congest_c4_detect(const Graph& g, int bandwidth) {
   const int rounds = static_cast<int>(
       ceil_div(std::max<std::size_t>(stream_bits, 1), static_cast<std::size_t>(bandwidth)));
 
+  // Each node's serialized list, built once and sliced per chunk round.
+  std::vector<Message> stream(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    Message& full = stream[static_cast<std::size_t>(v)];
+    full.reserve_bits(g.neighbors(v).size() * static_cast<std::size_t>(addr));
+    for (int u : g.neighbors(v)) {
+      full.push_uint(static_cast<std::uint64_t>(u), addr);
+    }
+  }
+
   // received[v][k] accumulates the bits of neighbor k's list.
   std::vector<std::vector<Message>> received(static_cast<std::size_t>(n));
   for (int v = 0; v < n; ++v) {
-    received[static_cast<std::size_t>(v)].resize(g.neighbors(v).size());
+    const auto& nbrs = g.neighbors(v);
+    received[static_cast<std::size_t>(v)].resize(nbrs.size());
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      received[static_cast<std::size_t>(v)][k].reserve_bits(
+          stream[static_cast<std::size_t>(nbrs[k])].size_bits());
+    }
   }
 
   for (int r = 0; r < rounds; ++r) {
     const std::size_t offset = static_cast<std::size_t>(r) * static_cast<std::size_t>(bandwidth);
     net.round(
         [&](int v) {
-          // v's full serialized list (recomputed per round; the simulator
-          // favors clarity — the slice sent this round is offset..offset+b).
-          Message full;
-          for (int u : g.neighbors(v)) {
-            full.push_uint(static_cast<std::uint64_t>(u), addr);
-          }
+          const Message& full = stream[static_cast<std::size_t>(v)];
           Message chunk;
           if (offset < full.size_bits()) {
             const std::size_t take =
                 std::min<std::size_t>(static_cast<std::size_t>(bandwidth),
                                       full.size_bits() - offset);
-            for (std::size_t t = 0; t < take; ++t) chunk.push_bit(full.get(offset + t));
+            chunk.append_slice(full, offset, take);
           }
           std::vector<Message> box(g.neighbors(v).size(), chunk);
           return box;

@@ -7,27 +7,6 @@
 
 namespace cclique {
 
-namespace {
-
-// Serializes a node sketch into a broadcast payload.
-Message serialize_sketch(const NodeSketch& s, int n) {
-  Message m;
-  m.push_uint(s.degree, bits_for(static_cast<std::uint64_t>(n) + 1));
-  for (std::uint64_t p : s.power_sums) m.push_uint(p, 61);
-  return m;
-}
-
-NodeSketch deserialize_sketch(const Message& m, int k, int n) {
-  BitReader r(m);
-  NodeSketch s;
-  s.degree = r.read_uint(bits_for(static_cast<std::uint64_t>(n) + 1));
-  s.power_sums.resize(static_cast<std::size_t>(2 * k));
-  for (auto& p : s.power_sums) p = r.read_uint(61);
-  return s;
-}
-
-}  // namespace
-
 TuranDetectResult turan_subgraph_detect(CliqueBroadcast& net, const Graph& g,
                                         const Graph& h) {
   const int n = g.num_vertices();

@@ -47,8 +47,11 @@ RoutingResult run_relay_plan(CliqueUnicast& net, const RoutingDemand& demand,
   // Phase 1: source -> relay, record = [dest | payload].
   std::vector<std::vector<Message>> p1(
       static_cast<std::size_t>(n), std::vector<Message>(static_cast<std::size_t>(n)));
-  // Self-relay records (relay == source) skip the wire.
+  // Self-relay records (relay == source) skip the wire. Every relay holds
+  // ~M/n of the demand; reserving that up front keeps the hold lists from
+  // reallocating while the chunk rounds run.
   std::vector<std::vector<RoutedMessage>> held(static_cast<std::size_t>(n));
+  for (auto& h : held) h.reserve(demand.messages.size() / static_cast<std::size_t>(n) + 1);
   for (std::size_t k = 0; k < demand.messages.size(); ++k) {
     const auto& m = demand.messages[k];
     const int r = relay_of[k];

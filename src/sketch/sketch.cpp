@@ -33,6 +33,23 @@ std::size_t sketch_bits(int k, int n) {
          static_cast<std::size_t>(2 * k) * 61;
 }
 
+Message serialize_sketch(const NodeSketch& s, int n) {
+  Message m;
+  m.reserve_bits(sketch_bits(static_cast<int>(s.power_sums.size() / 2), n));
+  m.push_uint(s.degree, bits_for(static_cast<std::uint64_t>(n) + 1));
+  for (std::uint64_t p : s.power_sums) m.push_uint(p, 61);
+  return m;
+}
+
+NodeSketch deserialize_sketch(const Message& m, int k, int n) {
+  BitReader r(m);
+  NodeSketch s;
+  s.degree = r.read_uint(bits_for(static_cast<std::uint64_t>(n) + 1));
+  s.power_sums.resize(static_cast<std::size_t>(2 * k));
+  for (auto& p : s.power_sums) p = r.read_uint(61);
+  return s;
+}
+
 std::optional<std::vector<int>> decode_power_sums(
     const std::vector<std::uint64_t>& sums, std::uint64_t count, int n) {
   const std::size_t d = static_cast<std::size_t>(count);

@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "comm/model.h"
 #include "graph/graph.h"
 #include "util/check.h"
 
@@ -41,6 +42,14 @@ NodeSketch make_sketch(const Graph& g, int v, int k);
 /// Exact bit size of a sketch message: one degree field (bits_for(n)) plus
 /// 2k field elements of 61 bits — the O(k log n) of [2].
 std::size_t sketch_bits(int k, int n);
+
+/// Serializes a sketch into the broadcast payload layout counted by
+/// sketch_bits(): [degree | p_1 | ... | p_{2k}]. Owned by the sketch module
+/// so every detector (Theorems 7 and 9) speaks the same wire format.
+Message serialize_sketch(const NodeSketch& s, int n);
+
+/// Inverse of serialize_sketch for a sketch built with parameter k.
+NodeSketch deserialize_sketch(const Message& m, int k, int n);
 
 /// Decodes a set of exactly `count` distinct ids in [0, n) from power sums
 /// (p_t = Σ (id+1)^t). Returns nullopt if no consistent set exists (which

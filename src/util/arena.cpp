@@ -1,0 +1,46 @@
+#include "util/arena.h"
+
+#include <algorithm>
+
+namespace cclique {
+
+namespace {
+constexpr std::size_t kMinBlockWords = 1024;  // 8 KiB
+}  // namespace
+
+std::uint64_t* Arena::alloc_words(std::size_t nwords) {
+  // Find (or create) a block with room, starting at the active block.
+  while (active_ < blocks_.size()) {
+    Block& b = blocks_[active_];
+    if (b.used + nwords <= b.size) {
+      std::uint64_t* out = b.words.get() + b.used;
+      b.used += nwords;
+      used_ += nwords;
+      return out;
+    }
+    ++active_;
+  }
+  const std::size_t prev = blocks_.empty() ? 0 : blocks_.back().size;
+  const std::size_t size = std::max({kMinBlockWords, prev * 2, nwords});
+  Block b;
+  b.words = std::make_unique<std::uint64_t[]>(size);
+  b.size = size;
+  b.used = nwords;
+  blocks_.push_back(std::move(b));
+  used_ += nwords;
+  return blocks_.back().words.get();
+}
+
+void Arena::reset() {
+  for (Block& b : blocks_) b.used = 0;
+  active_ = 0;
+  used_ = 0;
+}
+
+std::size_t Arena::capacity_words() const {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.size;
+  return total;
+}
+
+}  // namespace cclique

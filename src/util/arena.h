@@ -1,0 +1,59 @@
+// Bump allocator for message payload storage.
+//
+// The communication engines materialize up to n^2 message buffers per round;
+// allocating each from the heap dominates bench wall-clock at the scales the
+// paper's series are measured at. An Arena hands out word-aligned storage by
+// bumping a cursor through geometrically growing blocks; reset() rewinds the
+// cursor without releasing the blocks, so a steady-state round performs no
+// heap allocation at all. BitVec's borrow mode (util/bitvec.h) builds
+// messages directly inside arena storage.
+//
+// Lifetime rule: storage returned by alloc_words() is valid until the next
+// reset(); anything that must outlive the round (delivered payloads a
+// protocol keeps) must be copied into owned storage first. The engines
+// enforce this by re-borrowing their outbox slots every round.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace cclique {
+
+/// Word-granular bump allocator with block reuse across reset().
+class Arena {
+ public:
+  Arena() = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `nwords` contiguous uninitialized 64-bit words. nwords == 0
+  /// returns a valid (dereferenceable-for-zero-words) pointer.
+  std::uint64_t* alloc_words(std::size_t nwords);
+
+  /// Rewinds the cursor to the start; keeps every block for reuse. All
+  /// previously returned pointers become invalid for new content (their
+  /// storage will be handed out again).
+  void reset();
+
+  /// Total words handed out since the last reset().
+  std::size_t used_words() const { return used_; }
+
+  /// Total words of capacity across all blocks (never shrinks).
+  std::size_t capacity_words() const;
+
+ private:
+  struct Block {
+    std::unique_ptr<std::uint64_t[]> words;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  std::vector<Block> blocks_;
+  std::size_t active_ = 0;  ///< index of the block currently being bumped
+  std::size_t used_ = 0;
+};
+
+}  // namespace cclique

@@ -72,6 +72,47 @@ TEST(CliqueUnicast, SelfMessageRejected) {
                ModelViolation);
 }
 
+TEST(CliqueUnicast, PerPlayerAccounting) {
+  const int n = 5;
+  CliqueUnicast net(n, 8);
+  net.round(
+      [&](int i) {
+        std::vector<Message> box(static_cast<std::size_t>(n));
+        for (int j = 0; j < n; ++j) {
+          if (j != i) box[static_cast<std::size_t>(j)] = bits_of(0, 2);
+        }
+        return box;
+      },
+      [](int, const std::vector<Message>&) {});
+  ASSERT_EQ(net.stats().per_player_sent_bits.size(), static_cast<std::size_t>(n));
+  ASSERT_EQ(net.stats().per_player_recv_bits.size(), static_cast<std::size_t>(n));
+  std::uint64_t sent_sum = 0;
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(net.stats().per_player_sent_bits[static_cast<std::size_t>(i)],
+              static_cast<std::uint64_t>(2 * (n - 1)));
+    EXPECT_EQ(net.stats().per_player_recv_bits[static_cast<std::size_t>(i)],
+              static_cast<std::uint64_t>(2 * (n - 1)));
+    sent_sum += net.stats().per_player_sent_bits[static_cast<std::size_t>(i)];
+  }
+  EXPECT_EQ(sent_sum, net.stats().total_bits);
+}
+
+TEST(CliqueBroadcast, PerPlayerAccounting) {
+  const int n = 4;
+  CliqueBroadcast net(n, 8);
+  // Player i writes i+1 bits.
+  net.round([&](int i) { return bits_of(0, i + 1); });
+  const std::uint64_t board_total = 1 + 2 + 3 + 4;
+  EXPECT_EQ(net.stats().total_bits, board_total);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(net.stats().per_player_sent_bits[static_cast<std::size_t>(i)],
+              static_cast<std::uint64_t>(i + 1));
+    // Each player reads everyone else's writes.
+    EXPECT_EQ(net.stats().per_player_recv_bits[static_cast<std::size_t>(i)],
+              board_total - static_cast<std::uint64_t>(i + 1));
+  }
+}
+
 TEST(CliqueUnicast, CutMetering) {
   CliqueUnicast net(4, 8);
   net.set_cut({0, 0, 1, 1});

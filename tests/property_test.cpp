@@ -222,20 +222,24 @@ TEST(EngineProperty, BitAccountingIsExact) {
         }
       }
     }
-    net.round(
-        [&](int i) {
-          std::vector<Message> box(static_cast<std::size_t>(n));
-          for (int j = 0; j < n; ++j) {
-            if (j == i) continue;
-            Message m;
-            for (int bit = 0; bit < plan[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]; ++bit) {
-              m.push_bit(rng.coin());
-            }
-            box[static_cast<std::size_t>(j)] = std::move(m);
-          }
-          return box;
-        },
-        [](int, const std::vector<Message>&) {});
+    // Messages are drawn before the round: send callbacks must be local
+    // (comm/model.h), and the parallel scheduler relies on it — a shared
+    // Rng inside the callback would be both a discipline violation and a
+    // data race at CC_THREADS > 1.
+    std::vector<std::vector<Message>> outbox(static_cast<std::size_t>(n),
+                                             std::vector<Message>(static_cast<std::size_t>(n)));
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i == j) continue;
+        Message m;
+        for (int bit = 0; bit < plan[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]; ++bit) {
+          m.push_bit(rng.coin());
+        }
+        outbox[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = std::move(m);
+      }
+    }
+    net.round([&](int i) { return outbox[static_cast<std::size_t>(i)]; },
+              [](int, const std::vector<Message>&) {});
   }
   EXPECT_EQ(net.stats().total_bits, expected_bits);
   EXPECT_EQ(net.stats().rounds, 20);
@@ -249,12 +253,13 @@ TEST(EngineProperty, CutBitsNeverExceedTotal) {
   for (auto& s : side) s = rng.coin() ? 1 : 0;
   net.set_cut(side);
   for (int round = 0; round < 10; ++round) {
-    net.round([&](int) {
-      Message m;
+    // Pre-drawn for the same locality reason as above.
+    std::vector<Message> writes(static_cast<std::size_t>(n));
+    for (auto& m : writes) {
       const int len = static_cast<int>(rng.uniform(17));
       for (int bit = 0; bit < len; ++bit) m.push_bit(rng.coin());
-      return m;
-    });
+    }
+    net.round([&](int i) { return writes[static_cast<std::size_t>(i)]; });
   }
   EXPECT_LE(net.stats().cut_bits, net.stats().total_bits);
 }

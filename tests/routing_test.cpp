@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "routing/router.h"
+#include "util/math_util.h"
 #include "util/rng.h"
 
 namespace cclique {
@@ -160,6 +161,45 @@ TEST(Routing, TwoPhaseRoundsGrowLinearlyInC) {
   }
   EXPECT_LT(rounds[2], 8 * rounds[0] + 8) << "rounds should track c roughly linearly";
   EXPECT_GT(rounds[2], rounds[0]) << "more load must cost more rounds";
+}
+
+// DESIGN.md §4a, asserted directly from the per-player accounting: both
+// relay phases have per-edge load <= ceil(M/n) + 1 records when every
+// player sends and receives <= M messages. Summed over a player's n links
+// and the two phases, that caps every player's sent (and received) bits at
+// 2 * n * (ceil(M/n) + 1) * record_bits — a certificate the aggregate
+// max_edge_bits_in_round cannot give.
+TEST(Routing, TwoPhasePerPlayerLoadCertificate) {
+  Rng rng(11);
+  const int n = 16;
+  const int c = 3;  // per-player demand M = c * n
+  const int width = 8;
+  CliqueUnicast net(n, 32);
+  RoutingDemand d = random_balanced_demand(n, c * n, width, rng);
+  const std::size_t M = static_cast<std::size_t>(c) * static_cast<std::size_t>(n);
+  ASSERT_EQ(d.max_out(n), M);
+  ASSERT_EQ(d.max_in(n), M);
+  route_two_phase(net, d);
+
+  const std::uint64_t record_bits =
+      static_cast<std::uint64_t>(bits_for(static_cast<std::uint64_t>(n)) + width);
+  const std::uint64_t edge_cap_records = M / static_cast<std::size_t>(n) + 1;  // ceil(M/n) + 1
+  const std::uint64_t player_cap_bits =
+      2 * static_cast<std::uint64_t>(n) * edge_cap_records * record_bits;
+  const CommStats& s = net.stats();
+  ASSERT_EQ(s.per_player_sent_bits.size(), static_cast<std::size_t>(n));
+  std::uint64_t sent_sum = 0, recv_sum = 0;
+  for (int i = 0; i < n; ++i) {
+    EXPECT_LE(s.per_player_sent_bits[static_cast<std::size_t>(i)], player_cap_bits)
+        << "player " << i << " overloaded on send";
+    EXPECT_LE(s.per_player_recv_bits[static_cast<std::size_t>(i)], player_cap_bits)
+        << "player " << i << " overloaded on receive";
+    sent_sum += s.per_player_sent_bits[static_cast<std::size_t>(i)];
+    recv_sum += s.per_player_recv_bits[static_cast<std::size_t>(i)];
+  }
+  // Unicast delivers every sent bit to exactly one receiver.
+  EXPECT_EQ(sent_sum, s.total_bits);
+  EXPECT_EQ(recv_sum, s.total_bits);
 }
 
 TEST(Routing, ValiantNearBalanced) {
