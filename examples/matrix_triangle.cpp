@@ -45,6 +45,14 @@ int main(int argc, char** argv) {
   }
   {
     CliqueUnicast net(n, 64);
+    auto r = mm_triangle_run(net, g, /*reps=*/1, rng, TriangleBackend::kAlgebraic);
+    std::printf("MM (algebraic protocol): detected=%-3s rounds=%-5d exact count=%llu "
+                "(O(n^{1/3}) rounds, DESIGN.md §2.2)\n",
+                r.detected ? "yes" : "no", r.stats.rounds,
+                static_cast<unsigned long long>(r.triangle_count));
+  }
+  {
+    CliqueUnicast net(n, 64);
     auto r = dlp_triangle_detect(net, g);
     std::printf("DLP baseline : detected=%-3s rounds=%-5d\n",
                 r.detected ? "yes" : "no", r.stats.rounds);

@@ -29,26 +29,51 @@ MatrixWires sub_block(const MatrixWires& m, int r0, int c0, int size) {
   return out;
 }
 
-// Pads m to size `target` with a shared zero wire.
-MatrixWires pad_to(Circuit& c, const MatrixWires& m, int target, int zero_wire) {
-  if (m.n == target) return m;
-  MatrixWires out;
-  out.n = target;
-  out.w.assign(static_cast<std::size_t>(target) * static_cast<std::size_t>(target), zero_wire);
-  for (int i = 0; i < m.n; ++i) {
-    for (int j = 0; j < m.n; ++j) {
-      out.w[static_cast<std::size_t>(i) * static_cast<std::size_t>(target) + static_cast<std::size_t>(j)] = m.at(i, j);
-    }
-  }
-  (void)c;
-  return out;
-}
-
 MatrixWires strassen_rec(Circuit& c, const MatrixWires& a, const MatrixWires& b,
                          int cutoff) {
   const int n = a.n;
-  if (n <= cutoff || n % 2 != 0) {
+  if (n <= cutoff) {
     return add_f2_matmul_naive(c, a, b);
+  }
+  if (n % 2 != 0) {
+    // Dynamic peeling, mirroring linalg/f2matrix.cpp: recurse on the even
+    // (n-1)-core and patch with O(n^2) rank-1 and border gates, so the wire
+    // count of an odd size tracks its even neighbor. The old code bailed to
+    // the Θ(n³)-wire naive block on any odd size (and the top level padded
+    // clear to the next power of two — ~7x the wires for n just past 2^k);
+    // per-level zero-padding would instead compound a small-block blowup
+    // through the 7^depth recursion.
+    // With A = [A' u; v^T s], B = [B' x; y^T t]:
+    //   C = [A'B' + u y^T   A'x + u t; v^T B' + s y^T   v^T x + s t].
+    const int h = n - 1;
+    const MatrixWires core =
+        strassen_rec(c, sub_block(a, 0, 0, h), sub_block(b, 0, 0, h), cutoff);
+    MatrixWires out;
+    out.n = n;
+    out.w.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0);
+    auto at = [n](int i, int j) {
+      return static_cast<std::size_t>(i) * static_cast<std::size_t>(n) + static_cast<std::size_t>(j);
+    };
+    for (int i = 0; i < h; ++i) {
+      for (int j = 0; j < h; ++j) {
+        const int uy = c.add_gate(GateKind::kAnd, {a.at(i, h), b.at(h, j)});
+        out.w[at(i, j)] = xor2(c, core.at(i, j), uy);
+      }
+    }
+    // Border entries: each is an (h+1)-term dot product (XOR of ANDs) of a
+    // full row of A against a full column of B.
+    auto dot = [&](int arow, int bcol) {
+      std::vector<int> terms;
+      terms.reserve(static_cast<std::size_t>(h) + 1);
+      for (int k = 0; k <= h; ++k) {
+        terms.push_back(c.add_gate(GateKind::kAnd, {a.at(arow, k), b.at(k, bcol)}));
+      }
+      return c.add_gate(GateKind::kXor, std::move(terms));
+    };
+    for (int i = 0; i < h; ++i) out.w[at(i, h)] = dot(i, h);
+    for (int j = 0; j < h; ++j) out.w[at(h, j)] = dot(h, j);
+    out.w[at(h, h)] = dot(h, h);
+    return out;
   }
   const int h = n / 2;
   const MatrixWires a11 = sub_block(a, 0, 0, h), a12 = sub_block(a, 0, h, h);
@@ -111,21 +136,7 @@ MatrixWires add_f2_matmul_strassen(Circuit& c, const MatrixWires& a,
                                    const MatrixWires& b, int cutoff) {
   CC_REQUIRE(a.n == b.n, "matrix size mismatch");
   CC_REQUIRE(cutoff >= 1, "cutoff must be >= 1");
-  // Pad to the next power of two so halving is always possible.
-  int target = 1;
-  while (target < a.n) target *= 2;
-  if (target == a.n) return strassen_rec(c, a, b, cutoff);
-  const int zero = c.add_const(false);
-  MatrixWires pa = pad_to(c, a, target, zero);
-  MatrixWires pb = pad_to(c, b, target, zero);
-  MatrixWires full = strassen_rec(c, pa, pb, cutoff);
-  MatrixWires out;
-  out.n = a.n;
-  out.w.reserve(static_cast<std::size_t>(a.n) * static_cast<std::size_t>(a.n));
-  for (int i = 0; i < a.n; ++i) {
-    for (int j = 0; j < a.n; ++j) out.w.push_back(full.at(i, j));
-  }
-  return out;
+  return strassen_rec(c, a, b, cutoff);
 }
 
 Circuit f2_matmul_circuit(int n, bool use_strassen, int cutoff) {

@@ -32,8 +32,9 @@ struct MatrixWires {
 MatrixWires add_f2_matmul_naive(Circuit& c, const MatrixWires& a, const MatrixWires& b);
 
 /// Emits a Strassen product over F2; recursion switches to the naive product
-/// at blocks of size <= `cutoff` (>= 1). Handles non-power-of-two sizes by
-/// zero padding.
+/// at blocks of size <= `cutoff` (>= 1). Handles odd sizes by dynamic
+/// peeling (even core + O(n^2) rank-1/border gates), so wire counts grow
+/// smoothly in n instead of jumping at powers of two.
 MatrixWires add_f2_matmul_strassen(Circuit& c, const MatrixWires& a,
                                    const MatrixWires& b, int cutoff);
 

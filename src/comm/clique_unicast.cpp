@@ -134,4 +134,111 @@ int unicast_payloads(CliqueUnicast& net,
   return rounds;
 }
 
+int unicast_payloads_relayed(CliqueUnicast& net,
+                             const std::vector<std::vector<Message>>& payload,
+                             std::vector<std::vector<Message>>* received) {
+  const int n = net.n();
+  CC_REQUIRE(static_cast<int>(payload.size()) == n, "payload matrix must be n x n");
+  for (int v = 0; v < n; ++v) {
+    const auto& row = payload[static_cast<std::size_t>(v)];
+    CC_REQUIRE(static_cast<int>(row.size()) == n, "payload matrix must be n x n");
+    CC_REQUIRE(row[static_cast<std::size_t>(v)].empty(),
+               "relayed payloads cannot address the sender itself");
+  }
+  auto chunk_len = [n](std::size_t len, int c) {
+    return relay_chunk_lo(len, c + 1, n) - relay_chunk_lo(len, c, n);
+  };
+
+  // Hop 1: source v ships to relay t its payloads' relay-t chunks (chunk
+  // index rotated per pair — see relay_chunk_index), concatenated in
+  // destination order. The t == v chunks stay local (v is its own relay),
+  // so the diagonal is left empty.
+  std::vector<std::vector<Message>> h1(
+      static_cast<std::size_t>(n), std::vector<Message>(static_cast<std::size_t>(n)));
+  for (int v = 0; v < n; ++v) {
+    for (int t = 0; t < n; ++t) {
+      if (t == v) continue;
+      Message& out = h1[static_cast<std::size_t>(v)][static_cast<std::size_t>(t)];
+      for (int p = 0; p < n; ++p) {
+        if (p == v) continue;
+        const Message& full = payload[static_cast<std::size_t>(v)][static_cast<std::size_t>(p)];
+        const int c = relay_chunk_index(v, p, t, n);
+        const std::size_t clen = chunk_len(full.size_bits(), c);
+        if (clen != 0) out.append_slice(full, relay_chunk_lo(full.size_bits(), c, n), clen);
+      }
+    }
+  }
+  std::vector<std::vector<Message>> recv1;
+  const int rounds1 = unicast_payloads(net, h1, &recv1);
+
+  // Relay stage (local): every relay t re-groups the chunks it holds by
+  // final destination, again in source order. Chunk positions inside the
+  // incoming streams are recomputed from the globally known lengths.
+  // hold[t] collects the chunks whose destination is t itself — the
+  // "t -> t stream" that never crosses the network.
+  std::vector<std::vector<Message>> h2(
+      static_cast<std::size_t>(n), std::vector<Message>(static_cast<std::size_t>(n)));
+  std::vector<Message> hold(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    for (int v = 0; v < n; ++v) {
+      if (v == t) {
+        // Own chunks: read straight from the source payloads.
+        for (int p = 0; p < n; ++p) {
+          if (p == t) continue;
+          const Message& full = payload[static_cast<std::size_t>(t)][static_cast<std::size_t>(p)];
+          const int c = relay_chunk_index(t, p, t, n);
+          const std::size_t clen = chunk_len(full.size_bits(), c);
+          if (clen != 0) {
+            h2[static_cast<std::size_t>(t)][static_cast<std::size_t>(p)].append_slice(
+                full, relay_chunk_lo(full.size_bits(), c, n), clen);
+          }
+        }
+        continue;
+      }
+      const Message& src = recv1[static_cast<std::size_t>(t)][static_cast<std::size_t>(v)];
+      std::size_t cur = 0;
+      for (int p = 0; p < n; ++p) {
+        if (p == v) continue;
+        const std::size_t clen = chunk_len(
+            payload[static_cast<std::size_t>(v)][static_cast<std::size_t>(p)].size_bits(),
+            relay_chunk_index(v, p, t, n));
+        if (clen == 0) continue;
+        Message& out = p == t ? hold[static_cast<std::size_t>(t)]
+                              : h2[static_cast<std::size_t>(t)][static_cast<std::size_t>(p)];
+        out.append_slice(src, cur, clen);
+        cur += clen;
+      }
+    }
+  }
+  std::vector<std::vector<Message>> recv2;
+  const int rounds2 = unicast_payloads(net, h2, &recv2);
+
+  // Reassembly: destination r splices each payload back together in chunk
+  // order (chunk c sits at relay t = c - v - r mod n); every relay's stream
+  // (and the local hold) is consumed in source order, so one cursor per
+  // relay suffices regardless of the per-payload chunk rotation.
+  received->assign(static_cast<std::size_t>(n),
+                   std::vector<Message>(static_cast<std::size_t>(n)));
+  for (int r = 0; r < n; ++r) {
+    std::vector<std::size_t> cur(static_cast<std::size_t>(n), 0);
+    for (int v = 0; v < n; ++v) {
+      if (v == r) continue;
+      const std::size_t len =
+          payload[static_cast<std::size_t>(v)][static_cast<std::size_t>(r)].size_bits();
+      Message& out = (*received)[static_cast<std::size_t>(r)][static_cast<std::size_t>(v)];
+      out.reserve_bits(len);
+      for (int c = 0; c < n; ++c) {
+        const std::size_t clen = chunk_len(len, c);
+        if (clen == 0) continue;
+        const int t = ((c - v - r) % n + n) % n;  // inverse of relay_chunk_index
+        const Message& src = t == r ? hold[static_cast<std::size_t>(r)]
+                                    : recv2[static_cast<std::size_t>(r)][static_cast<std::size_t>(t)];
+        out.append_slice(src, cur[static_cast<std::size_t>(t)], clen);
+        cur[static_cast<std::size_t>(t)] += clen;
+      }
+    }
+  }
+  return rounds1 + rounds2;
+}
+
 }  // namespace cclique

@@ -83,4 +83,41 @@ int unicast_payloads(CliqueUnicast& net,
                      const std::vector<std::vector<Message>>& payload,
                      std::vector<std::vector<Message>>* received);
 
+/// The n-way balanced split used by the relayed delivery below: chunk c of a
+/// len-bit payload is bits [len*c/n, len*(c+1)/n) — all n chunks differ in
+/// size by at most one bit. Exposed so protocols (core/algebraic_mm) can
+/// predict the relayed round schedule exactly from a length matrix alone.
+inline std::size_t relay_chunk_lo(std::size_t len, int c, int n) {
+  return len * static_cast<std::size_t>(c) / static_cast<std::size_t>(n);
+}
+
+/// Which chunk of the (v -> p) payload relay t carries. The one-bit-heavier
+/// remainder chunks of equal-length payloads sit at the same chunk indices,
+/// so an identity map would pile them all onto the same relays (measurably:
+/// ~4x the ideal hop load for the MM distribution phase); rotating the map
+/// by (v + p) spreads them across relays.
+inline int relay_chunk_index(int v, int p, int t, int n) {
+  return (t + v + p) % n;
+}
+
+/// Delivers a payload matrix through the deterministic two-hop relay
+/// schedule (oblivious Valiant-style balancing; the same idea as the
+/// message-level router of DESIGN.md §4a, lifted to bit streams): every
+/// payload is split into n near-equal chunks by relay_chunk_lo, chunk t
+/// travels source -> relay t -> destination, and each hop is a plain
+/// unicast_payloads call. Per-edge load per hop is therefore
+/// ~(per-player total)/n instead of the largest single payload, which is
+/// what turns the skewed block-distribution demand of the algebraic MM
+/// protocol into its O(n^{1/3}) round bound.
+///
+/// Contract: the *length* matrix of `payload` must be globally known (a
+/// data-independent function of the protocol's parameters, never of input
+/// values) — relays and receivers locate chunks by recomputing lengths, so
+/// data-dependent lengths would leak information outside the accounting.
+/// payload[v][v] must be empty. On return received[r][v] holds payload[v][r].
+/// Returns the number of rounds used (both hops).
+int unicast_payloads_relayed(CliqueUnicast& net,
+                             const std::vector<std::vector<Message>>& payload,
+                             std::vector<std::vector<Message>>* received);
+
 }  // namespace cclique

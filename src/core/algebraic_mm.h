@@ -1,0 +1,102 @@
+// Distributed algebraic matrix multiplication on the unicast clique.
+//
+// The paper's Section 2 upper bounds ride on matrix multiplication through
+// the Theorem 2 circuit compiler; Censor-Hillel et al., *Algebraic Methods
+// in the Congested Clique* (PODC'15), and Le Gall (DISC'16) run the same
+// machinery as a *protocol*. This module implements the semiring
+// decomposition of their §2: with m = ⌊n^{1/3}⌋ and the index set [n] cut
+// into m intervals of ⌈n/m⌉ rows, the product C = A·B splits into m³ block
+// products C_ij += A_ik · B_kj, one per player. Player p responsible for
+// triple (i,j,k) receives blocks A_ik and B_kj from the natural row owners
+// (player v holds row v of A and B), multiplies locally, and ships its
+// partial rows back to the output owners, who sum them.
+//
+// Both transfer phases move Θ(n^{4/3} · w) bits per player (w = element
+// width), but the demand is skewed — each source addresses only the m²
+// players sharing its row block. The two-hop balanced relay
+// (unicast_payloads_relayed) turns that into a per-edge load of
+// Θ(n^{1/3} · w) bits per hop, i.e. O(n^{1/3} · w / b) rounds at per-edge
+// bandwidth b — the O(n^{1/3}) round bound for constant-size words. The
+// round schedule is data-independent, so algebraic_mm_plan() predicts it
+// exactly; the protocol CC_CHECKs its measured rounds and bits against the
+// plan on every run.
+//
+// On top of the product: exact triangle and 4-cycle counting over
+// F_{2^61-1} (linalg/mat61). One distributed product A² suffices for both —
+// trace(A³) = Σ_v ⟨row_v(A²), row_v(A)⟩ = 6·(#triangles) and
+// trace(A⁴) = Σ_v ‖row_v(A²)‖² = 8·(#C₄) + 2·Σdeg² − 2|E| — followed by a
+// one-message-per-pair exchange of 61-bit partial sums. Field arithmetic is
+// exact integer arithmetic as long as the traces stay below p = 2^61 − 1.
+#pragma once
+
+#include <cstdint>
+
+#include "comm/clique_unicast.h"
+#include "graph/graph.h"
+#include "linalg/f2matrix.h"
+#include "linalg/mat61.h"
+
+namespace cclique {
+
+/// The data-independent cost schedule of one distributed product.
+struct AlgebraicMmPlan {
+  int n = 0;
+  int grid = 0;        ///< m: block grid dimension; one triple of [m]^3 per player
+  int block = 0;       ///< ⌈n/m⌉ rows per interval
+  int word_bits = 0;   ///< serialized bits per element (1 for F2, 61 for F_{2^61-1})
+  int bandwidth = 0;   ///< per-edge per-round budget the schedule was planned for
+  int distribute_rounds = 0;  ///< input-block delivery (two relay hops)
+  int aggregate_rounds = 0;   ///< partial-sum delivery (two relay hops)
+  int total_rounds = 0;
+  std::uint64_t total_bits = 0;           ///< exact network bits, both phases
+  std::uint64_t max_player_send_bits = 0; ///< heaviest per-player payload load (pre-relay)
+  /// Asymptotic reference the measured series is printed against:
+  /// 6 · n^{1/3} · w / b (three per-player loads of ~2n^{4/3}w bits, each
+  /// spread over n links and two hops).
+  double series_rounds = 0;
+};
+
+/// Computes the exact round/bit schedule for an n x n product with
+/// word_bits-bit elements at the given per-edge bandwidth.
+AlgebraicMmPlan algebraic_mm_plan(int n, int word_bits, int bandwidth);
+
+/// Outcome of one distributed product.
+struct AlgebraicMmResult {
+  AlgebraicMmPlan plan;
+  int distribute_rounds = 0;  ///< measured; equals plan.distribute_rounds
+  int aggregate_rounds = 0;   ///< measured; equals plan.aggregate_rounds
+  int total_rounds = 0;       ///< measured; equals plan.total_rounds
+  std::uint64_t total_bits = 0;  ///< measured; equals plan.total_bits
+};
+
+/// Distributed C = A·B over GF(2) (word-packed F2Matrix; 1 bit/element).
+/// Player v holds row v of A and B and ends holding row v of C; `*c`
+/// assembles all rows. Throws ModelViolation/InvariantError if the run
+/// leaves the planned schedule.
+AlgebraicMmResult algebraic_mm_f2(CliqueUnicast& net, const F2Matrix& a,
+                                  const F2Matrix& b, F2Matrix* c);
+
+/// Distributed C = A·B over F_{2^61-1} (61 bits/element).
+AlgebraicMmResult algebraic_mm_m61(CliqueUnicast& net, const Mat61& a,
+                                   const Mat61& b, Mat61* c);
+
+/// Outcome of an exact counting protocol (triangles or 4-cycles).
+struct AlgebraicCountResult {
+  std::uint64_t count = 0;
+  AlgebraicMmResult mm;   ///< the distributed A·A product behind the count
+  int share_rounds = 0;   ///< final 61-bit partial-sum exchange
+  int total_rounds = 0;   ///< mm.total_rounds + share_rounds
+};
+
+/// Exact number of triangles of g via diag(A³) over F_{2^61-1}:
+/// one distributed A² product, then every player v computes
+/// (A³)_vv = ⟨row_v(A²), row_v(A)⟩ locally and the partials are exchanged.
+/// Requires n <= 2^15 so trace values stay below p (exactness).
+AlgebraicCountResult triangle_count_algebraic(CliqueUnicast& net, const Graph& g);
+
+/// Exact number of 4-cycles of g via trace(A⁴) = Σ_v ‖row_v(A²)‖² and the
+/// degree statistics: #C₄ = (trace(A⁴) − 2·Σ_v deg(v)² + 2|E|) / 8.
+/// Requires n <= 2^15 (trace(A⁴) <= n^4 < p).
+AlgebraicCountResult four_cycle_count_algebraic(CliqueUnicast& net, const Graph& g);
+
+}  // namespace cclique

@@ -1,14 +1,34 @@
 #include "core/mm_triangle.h"
 
 #include "circuit/mm_circuit.h"
+#include "core/algebraic_mm.h"
 
 namespace cclique {
 
 MmTriangleResult mm_triangle_detect(CliqueUnicast& net, const Graph& g, int reps,
                                     Rng& rng, bool use_strassen) {
+  return mm_triangle_run(net, g, reps, rng,
+                         use_strassen ? TriangleBackend::kCircuitStrassen
+                                      : TriangleBackend::kCircuitNaive);
+}
+
+MmTriangleResult mm_triangle_run(CliqueUnicast& net, const Graph& g, int reps,
+                                 Rng& rng, TriangleBackend backend) {
   const int n = g.num_vertices();
   CC_REQUIRE(net.n() == n, "one player per vertex");
 
+  if (backend == TriangleBackend::kAlgebraic) {
+    const AlgebraicCountResult count = triangle_count_algebraic(net, g);
+    MmTriangleResult out;
+    out.detected = count.count > 0;
+    out.triangle_count = count.count;
+    out.exact = true;
+    out.stats = net.stats();
+    out.recommended_bandwidth = net.bandwidth();
+    return out;
+  }
+
+  const bool use_strassen = backend == TriangleBackend::kCircuitStrassen;
   Circuit circuit;
   if (use_strassen) {
     circuit = triangle_witness_circuit(n, reps, rng, /*cutoff=*/2);

@@ -21,13 +21,22 @@
 
 namespace cclique {
 
+/// How the matrix product behind triangle detection is carried out.
+enum class TriangleBackend {
+  kCircuitStrassen,  ///< Theorem 2 compiler over the Strassen circuit (randomized, one-sided)
+  kCircuitNaive,     ///< same compiler over the Θ(n³)-wire circuit (ablation)
+  kAlgebraic,        ///< distributed algebraic protocol (core/algebraic_mm): deterministic, exact count
+};
+
 /// Outcome of the MM-based triangle-detection protocol.
 struct MmTriangleResult {
-  bool detected = false;   ///< protocol verdict (one-sided: never false-positive)
+  bool detected = false;   ///< protocol verdict (circuit backends are one-sided: never false-positive)
   CommStats stats;         ///< engine accounting
-  std::size_t circuit_wires = 0;
-  int circuit_depth = 0;
+  std::size_t circuit_wires = 0;     ///< circuit backends only
+  int circuit_depth = 0;             ///< circuit backends only
   int recommended_bandwidth = 0;
+  std::uint64_t triangle_count = 0;  ///< algebraic backend only (exact)
+  bool exact = false;                ///< true iff the backend counts exactly (algebraic)
 };
 
 /// Runs triangle detection on `g` (player i holds row i of the adjacency
@@ -36,5 +45,13 @@ struct MmTriangleResult {
 /// use_strassen=false swaps in the naive Theta(n^3)-wire circuit (ablation).
 MmTriangleResult mm_triangle_detect(CliqueUnicast& net, const Graph& g, int reps,
                                     Rng& rng, bool use_strassen = true);
+
+/// Backend-selecting variant. The algebraic backend ignores `reps` and
+/// `rng` (it is deterministic), answers with the exact triangle count, and
+/// runs in O(n^{1/3} · w / b) rounds instead of the compiler's
+/// wires/n²-driven schedule — the protocol-vs-circuit tradeoff bench_e17
+/// measures.
+MmTriangleResult mm_triangle_run(CliqueUnicast& net, const Graph& g, int reps,
+                                 Rng& rng, TriangleBackend backend);
 
 }  // namespace cclique

@@ -28,6 +28,19 @@ std::uint64_t count_triangles(const Graph& g) {
   return total;
 }
 
+std::uint64_t count_four_cycles(const Graph& g) {
+  const int n = g.num_vertices();
+  std::uint64_t twice = 0;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      const std::uint64_t c = static_cast<std::uint64_t>(g.common_neighbor_count(u, v));
+      twice += c * (c - 1) / 2;  // choose the other diagonal pair
+    }
+  }
+  CC_CHECK(twice % 2 == 0, "each C4 has exactly two diagonal pairs");
+  return twice / 2;
+}
+
 std::vector<Triangle> list_triangles(const Graph& g) {
   std::vector<Triangle> out;
   for (const Edge& e : g.edges()) {

@@ -31,6 +31,13 @@ struct Triangle {
 /// Exact triangle count via bitset intersections, O(m * n / 64).
 std::uint64_t count_triangles(const Graph& g);
 
+/// Exact count of 4-cycles (as subgraphs, i.e. unordered vertex sets
+/// carrying a C4): every C4 is determined by its two diagonal pairs, so
+/// 2 * #C4 = sum over unordered pairs {u, v} of C(codeg(u, v), 2). Bitset
+/// codegrees make this O(n^2 * n / 64) — the ground truth the algebraic
+/// trace-based counter (core/algebraic_mm) is checked against.
+std::uint64_t count_four_cycles(const Graph& g);
+
 /// Lists all triangles (a < b < c).
 std::vector<Triangle> list_triangles(const Graph& g);
 

@@ -29,9 +29,20 @@ F2Matrix F2Matrix::identity(int n) {
 }
 
 F2Matrix F2Matrix::random(int n, Rng& rng) {
+  // Fill whole 64-bit words from the RNG instead of one coin() per bit
+  // (64x fewer RNG draws); the tail word is masked so the bits beyond
+  // column n-1 stay zero — operator== compares raw words. This draws a
+  // different bit stream than the per-bit version; all in-tree consumers
+  // compare quantities derived from the same matrices, so no seed bumps
+  // were needed.
   F2Matrix m(n);
+  const std::size_t words = (static_cast<std::size_t>(n) + 63) / 64;
+  const int tail = n & 63;
+  const std::uint64_t tail_mask = tail == 0 ? ~0ULL : (1ULL << tail) - 1;
   for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < n; ++j) m.set(i, j, rng.coin());
+    auto& row = m.rows_[static_cast<std::size_t>(i)];
+    for (std::size_t w = 0; w < words; ++w) row[w] = rng.next_u64();
+    if (words != 0) row[words - 1] &= tail_mask;
   }
   return m;
 }
@@ -83,7 +94,41 @@ void put_block(F2Matrix& m, const F2Matrix& blk, int r0, int c0) {
 
 F2Matrix strassen_rec(const F2Matrix& a, const F2Matrix& b, int cutoff) {
   const int n = a.n();
-  if (n <= cutoff || n % 2 != 0) return f2_multiply_naive(a, b);
+  if (n <= cutoff) return f2_multiply_naive(a, b);
+  if (n % 2 != 0) {
+    // Dynamic peeling: strip the last row/column so the core is even,
+    // recurse, and patch with the O(n^2) rank-1 and border terms. The old
+    // code bailed to the full Θ(n³) naive product for any odd block (and
+    // the top level padded clear to the next power of two); peeling keeps
+    // odd sizes within O(n^2) of their even neighbor — padding instead
+    // compounds across levels once the recursion re-hits odd sizes.
+    // With A = [A' u; v^T s], B = [B' x; y^T t]:
+    //   C = [A'B' + u y^T   A'x + u t; v^T B' + s y^T   v^T x + s t].
+    const int h = n - 1;
+    F2Matrix out(n);
+    put_block(out, strassen_rec(sub_block(a, 0, 0, h), sub_block(b, 0, 0, h), cutoff),
+              0, 0);
+    for (int i = 0; i < h; ++i) {
+      if (!a.get(i, h)) continue;  // u_i
+      for (int j = 0; j < h; ++j) {
+        if (b.get(h, j)) out.set(i, j, !out.get(i, j));  // += u y^T
+      }
+    }
+    for (int i = 0; i < h; ++i) {
+      bool acc = a.get(i, h) && b.get(h, h);
+      for (int k = 0; k < h; ++k) acc = acc != (a.get(i, k) && b.get(k, h));
+      out.set(i, h, acc);
+    }
+    for (int j = 0; j < h; ++j) {
+      bool acc = a.get(h, h) && b.get(h, j);
+      for (int k = 0; k < h; ++k) acc = acc != (a.get(h, k) && b.get(k, j));
+      out.set(h, j, acc);
+    }
+    bool corner = a.get(h, h) && b.get(h, h);
+    for (int k = 0; k < h; ++k) corner = corner != (a.get(h, k) && b.get(k, h));
+    out.set(h, h, corner);
+    return out;
+  }
   const int h = n / 2;
   const F2Matrix a11 = sub_block(a, 0, 0, h), a12 = sub_block(a, 0, h, h);
   const F2Matrix a21 = sub_block(a, h, 0, h), a22 = sub_block(a, h, h, h);
@@ -111,14 +156,7 @@ F2Matrix strassen_rec(const F2Matrix& a, const F2Matrix& b, int cutoff) {
 F2Matrix f2_multiply_strassen(const F2Matrix& a, const F2Matrix& b, int cutoff) {
   CC_REQUIRE(a.n() == b.n(), "size mismatch");
   CC_REQUIRE(cutoff >= 1, "cutoff must be >= 1");
-  int target = 1;
-  while (target < a.n()) target *= 2;
-  if (target == a.n()) return strassen_rec(a, b, cutoff);
-  F2Matrix pa(target), pb(target);
-  put_block(pa, a, 0, 0);
-  put_block(pb, b, 0, 0);
-  const F2Matrix full = strassen_rec(pa, pb, cutoff);
-  return sub_block(full, 0, 0, a.n());
+  return strassen_rec(a, b, cutoff);
 }
 
 F2Matrix bool_multiply(const F2Matrix& a, const F2Matrix& b) {

@@ -71,8 +71,9 @@ class F2Matrix {
 /// Schoolbook product over GF(2) (word-parallel: O(n^3 / 64)).
 F2Matrix f2_multiply_naive(const F2Matrix& a, const F2Matrix& b);
 
-/// Strassen product over GF(2) (recursion cutoff in rows; pads to powers of
-/// two). Exercises the same recursion as the circuit generator.
+/// Strassen product over GF(2) (recursion cutoff in rows; odd levels peel
+/// the last row/column and patch with O(n^2) rank-1/border terms).
+/// Exercises the same recursion as the circuit generator.
 F2Matrix f2_multiply_strassen(const F2Matrix& a, const F2Matrix& b, int cutoff = 64);
 
 /// Exact Boolean-semiring product: c_ij = OR_k (a_ik AND b_kj).

@@ -1,0 +1,94 @@
+// Dense matrices over F_p for the Mersenne prime p = 2^61 - 1.
+//
+// The algebraic congested-clique protocols (Censor-Hillel et al., PODC'15;
+// Le Gall, DISC'16) run matrix multiplication over a ring instead of
+// compiling it to a circuit; counting workloads (triangles via diag(A^3),
+// 4-cycles via trace(A^4)) then need exact small-integer arithmetic, which
+// F_{2^61-1} provides for free as long as the true values stay below p.
+// This module is the local numeric substrate of core/algebraic_mm: a
+// row-major dense matrix of reduced field elements plus two local product
+// kernels — a per-entry schoolbook reference and the cache-blocked
+// lazy-reduction kernel the protocol actually calls.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/check.h"
+#include "util/field.h"
+#include "util/rng.h"
+
+namespace cclique {
+
+/// Dense n x n matrix over F_{2^61-1}, row-major, entries kept in [0, p).
+class Mat61 {
+ public:
+  Mat61() = default;
+  explicit Mat61(int n);
+
+  int n() const { return n_; }
+
+  std::uint64_t get(int i, int j) const {
+    check(i, j);
+    return data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
+                 static_cast<std::size_t>(j)];
+  }
+
+  /// Stores v reduced into [0, p).
+  void set(int i, int j, std::uint64_t v) {
+    check(i, j);
+    data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
+          static_cast<std::size_t>(j)] = Mersenne61::reduce(v);
+  }
+
+  /// Adds v (mod p) into entry (i, j) — the accumulation primitive of the
+  /// distributed aggregation phase.
+  void add_at(int i, int j, std::uint64_t v) {
+    check(i, j);
+    std::uint64_t& e =
+        data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
+              static_cast<std::size_t>(j)];
+    e = Mersenne61::add(e, Mersenne61::reduce(v));
+  }
+
+  bool operator==(const Mat61& o) const { return n_ == o.n_ && data_ == o.data_; }
+  bool operator!=(const Mat61& o) const { return !(*this == o); }
+
+  /// A + B entrywise (mod p).
+  Mat61 operator+(const Mat61& o) const;
+
+  static Mat61 identity(int n);
+
+  /// Uniformly random entries in [0, p) (unbiased via Rng::uniform).
+  static Mat61 random(int n, Rng& rng);
+
+  /// 0/1 adjacency matrix of a graph (zero diagonal, symmetric).
+  static Mat61 adjacency(const Graph& g);
+
+  /// Contiguous row i (n elements).
+  const std::uint64_t* row(int i) const {
+    CC_REQUIRE(i >= 0 && i < n_, "row out of range");
+    return data_.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(n_);
+  }
+
+ private:
+  void check(int i, int j) const {
+    CC_REQUIRE(i >= 0 && i < n_ && j >= 0 && j < n_, "index out of range");
+  }
+  int n_ = 0;
+  std::vector<std::uint64_t> data_;
+};
+
+/// Schoolbook product with one modular reduction per elementary product —
+/// the reference the blocked kernel is tested against. O(n^3) reductions.
+Mat61 m61_multiply_schoolbook(const Mat61& a, const Mat61& b);
+
+/// Cache-blocked product: i-k-j loop order streaming contiguous rows of B,
+/// k split into panels of 32 with lazy 128-bit accumulation — products of
+/// reduced elements are < 2^122, so a 32-deep panel sum stays < 2^127 and
+/// needs only one reduce128 per output per panel (~32x fewer reductions
+/// than schoolbook). This is the local kernel of core/algebraic_mm.
+Mat61 m61_multiply_blocked(const Mat61& a, const Mat61& b);
+
+}  // namespace cclique

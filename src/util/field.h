@@ -37,6 +37,18 @@ class Mersenne61 {
 
   static std::uint64_t neg(std::uint64_t a) { return a == 0 ? 0 : kP - a; }
 
+  /// Reduces a full 128-bit value into [0, p): three 61-bit limbs collapse
+  /// because 2^61 ≡ 1 and 2^122 ≡ 1 (mod p). Correct over the whole
+  /// 128-bit range. Used by the lazy-accumulation matrix kernel
+  /// (linalg/mat61), which folds 32-deep panels of products of reduced
+  /// elements (32 · (p-1)^2 < 2^127) with one reduction per panel.
+  static std::uint64_t reduce128(__uint128_t x) {
+    const std::uint64_t lo = static_cast<std::uint64_t>(x) & kP;
+    const std::uint64_t mid = static_cast<std::uint64_t>(x >> 61) & kP;
+    const std::uint64_t hi = static_cast<std::uint64_t>(x >> 122);
+    return reduce(lo + mid + hi);  // < 3 * 2^61, fits; reduce folds the carry
+  }
+
   static std::uint64_t mul(std::uint64_t a, std::uint64_t b) {
     __uint128_t t = static_cast<__uint128_t>(a) * b;
     std::uint64_t lo = static_cast<std::uint64_t>(t) & kP;

@@ -14,7 +14,9 @@ inline std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
 /// This is the standard message-field width for node ids in [0, n).
 inline int bits_for(std::uint64_t n) {
   int w = 1;
-  while ((1ULL << w) < n) ++w;
+  // Capping at 64 keeps the shift defined for n > 2^63 (the old loop would
+  // have evaluated 1ULL << 64, which is UB, before terminating).
+  while (w < 64 && (1ULL << w) < n) ++w;
   return w;
 }
 
@@ -28,9 +30,26 @@ inline int floor_log2(std::uint64_t x) {
 /// Integer square root: the largest r with r*r <= x.
 inline std::uint64_t isqrt(std::uint64_t x) {
   if (x == 0) return 0;
+  constexpr std::uint64_t kMax = 0xFFFFFFFFULL;  // isqrt(2^64 - 1)
   std::uint64_t r = static_cast<std::uint64_t>(__builtin_sqrtl(static_cast<long double>(x)));
+  if (r > kMax) r = kMax;
   while (r > 0 && r * r > x) --r;
-  while ((r + 1) * (r + 1) <= x) ++r;
+  // The kMax guard keeps (r + 1)^2 from wrapping for x near 2^64 (the
+  // correction loop used to spin or stop one short once r + 1 hit 2^32).
+  while (r < kMax && (r + 1) * (r + 1) <= x) ++r;
+  return r;
+}
+
+/// Integer cube root: the largest r with r*r*r <= x. The grid dimension of
+/// the algebraic matrix-multiplication protocol (core/algebraic_mm) is
+/// icbrt(n), so exactness matters at perfect cubes.
+inline std::uint64_t icbrt(std::uint64_t x) {
+  if (x == 0) return 0;
+  constexpr std::uint64_t kMax = 2642245ULL;  // icbrt(2^64 - 1)
+  std::uint64_t r = static_cast<std::uint64_t>(__builtin_cbrtl(static_cast<long double>(x)));
+  if (r > kMax) r = kMax;
+  while (r > 0 && r * r * r > x) --r;
+  while (r < kMax && (r + 1) * (r + 1) * (r + 1) <= x) ++r;
   return r;
 }
 

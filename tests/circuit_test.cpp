@@ -264,6 +264,18 @@ TEST(MmCircuit, StrassenHasSubcubicWires) {
   EXPECT_GT(factor, 5.0);
 }
 
+TEST(MmCircuit, OddSizeWireCostTracksEvenNeighbor) {
+  // Regression for the odd-size bailout: an odd n must cost about what its
+  // even neighbors cost, not the next power of two (n=33 used to pad to 64,
+  // ~7x the wires) and not the cubic naive block.
+  const std::size_t w32 = f2_matmul_circuit(32, true).num_wires();
+  const std::size_t w33 = f2_matmul_circuit(33, true).num_wires();
+  const std::size_t w34 = f2_matmul_circuit(34, true).num_wires();
+  EXPECT_LE(w32, w33);
+  EXPECT_LE(w33, w34 + w34 / 8);  // within the per-level padding slack
+  EXPECT_LT(static_cast<double>(w33), 1.6 * static_cast<double>(w32));
+}
+
 TEST(TriangleWitnessCircuit, SoundOnTriangleFree) {
   Rng rng(5);
   Circuit c = triangle_witness_circuit(8, 6, rng);

@@ -179,6 +179,58 @@ TEST(Mersenne61, InverseOfZeroThrows) {
   EXPECT_THROW(Mersenne61::inv(0), PreconditionError);
 }
 
+TEST(Mersenne61, ReduceEdgeCases) {
+  EXPECT_EQ(Mersenne61::reduce(0), 0u);
+  EXPECT_EQ(Mersenne61::reduce(Mersenne61::kP), 0u);
+  EXPECT_EQ(Mersenne61::reduce(Mersenne61::kP - 1), Mersenne61::kP - 1);
+  EXPECT_EQ(Mersenne61::reduce(Mersenne61::kP + 1), 1u);
+  // 2^64 - 1 = 8p + 7.
+  EXPECT_EQ(Mersenne61::reduce(UINT64_MAX), 7u);
+  EXPECT_EQ(Mersenne61::reduce(1ULL << 61), 1u);
+}
+
+TEST(Mersenne61, PowZeroExponentIsOne) {
+  EXPECT_EQ(Mersenne61::pow(123456789, 0), 1u);
+  EXPECT_EQ(Mersenne61::pow(0, 0), 1u);  // empty product convention
+  EXPECT_EQ(Mersenne61::pow(0, 5), 0u);
+  // Fermat: x^(p-1) = 1 for x != 0.
+  EXPECT_EQ(Mersenne61::pow(2, Mersenne61::kP - 1), 1u);
+}
+
+TEST(Mersenne61, MulNearP) {
+  const std::uint64_t p1 = Mersenne61::kP - 1;  // = -1 mod p
+  EXPECT_EQ(Mersenne61::mul(p1, p1), 1u);
+  EXPECT_EQ(Mersenne61::mul(p1, 2), Mersenne61::kP - 2);
+  EXPECT_EQ(Mersenne61::mul(p1, Mersenne61::kP - 2), 2u);
+  EXPECT_EQ(Mersenne61::mul(Mersenne61::kP, 12345), 0u);  // p = 0 mod p
+  EXPECT_EQ(Mersenne61::mul(p1, 0), 0u);
+}
+
+TEST(Mersenne61, InverseRoundTripsNearP) {
+  for (std::uint64_t a : {std::uint64_t{2}, Mersenne61::kP - 1, Mersenne61::kP - 2,
+                          std::uint64_t{1} << 60}) {
+    EXPECT_EQ(Mersenne61::mul(a, Mersenne61::inv(a)), 1u) << a;
+    EXPECT_EQ(Mersenne61::inv(Mersenne61::inv(a)), Mersenne61::reduce(a)) << a;
+  }
+}
+
+TEST(Mersenne61, Reduce128) {
+  EXPECT_EQ(Mersenne61::reduce128(0), 0u);
+  EXPECT_EQ(Mersenne61::reduce128(Mersenne61::kP), 0u);
+  // 2^61 = 1 and 2^122 = 1 (mod p).
+  EXPECT_EQ(Mersenne61::reduce128(static_cast<__uint128_t>(1) << 61), 1u);
+  EXPECT_EQ(Mersenne61::reduce128(static_cast<__uint128_t>(1) << 122), 1u);
+  // The kernel's worst case: 64 maximal products.
+  const __uint128_t prod = static_cast<__uint128_t>(Mersenne61::kP - 1) * (Mersenne61::kP - 1);
+  __uint128_t acc = 0;
+  std::uint64_t expect = 0;
+  for (int i = 0; i < 64; ++i) {
+    acc += prod;
+    expect = Mersenne61::add(expect, 1);  // (-1)*(-1) = 1 each time
+  }
+  EXPECT_EQ(Mersenne61::reduce128(acc), expect);
+}
+
 TEST(MathUtil, CeilDiv) {
   EXPECT_EQ(ceil_div(10, 3), 4u);
   EXPECT_EQ(ceil_div(9, 3), 3u);
@@ -193,6 +245,15 @@ TEST(MathUtil, BitsFor) {
   EXPECT_EQ(bits_for(257), 9);
 }
 
+TEST(MathUtil, BitsForHugeInputsStayDefined) {
+  // n > 2^63 used to shift 1ULL << 64 (UB); the loop now caps at width 64.
+  EXPECT_EQ(bits_for(1ULL << 62), 62);
+  EXPECT_EQ(bits_for((1ULL << 62) + 1), 63);
+  EXPECT_EQ(bits_for(1ULL << 63), 63);
+  EXPECT_EQ(bits_for((1ULL << 63) + 1), 64);
+  EXPECT_EQ(bits_for(UINT64_MAX), 64);
+}
+
 TEST(MathUtil, FloorLog2) {
   EXPECT_EQ(floor_log2(1), 0);
   EXPECT_EQ(floor_log2(2), 1);
@@ -205,6 +266,37 @@ TEST(MathUtil, Isqrt) {
   EXPECT_EQ(isqrt(15), 3u);
   EXPECT_EQ(isqrt(16), 4u);
   EXPECT_EQ(isqrt(1ULL << 40), 1ULL << 20);
+}
+
+TEST(MathUtil, IsqrtNearUint64MaxDoesNotWrap) {
+  // (r + 1)^2 used to wrap to 0 once r + 1 reached 2^32, making the
+  // correction loop either spin or stop one short of the true root.
+  const std::uint64_t root_max = 0xFFFFFFFFULL;       // isqrt(2^64 - 1)
+  const std::uint64_t square = root_max * root_max;   // 0xFFFFFFFE00000001
+  EXPECT_EQ(isqrt(UINT64_MAX), root_max);
+  EXPECT_EQ(isqrt(square), root_max);
+  EXPECT_EQ(isqrt(square - 1), root_max - 1);
+  EXPECT_EQ(isqrt(1ULL << 62), 1ULL << 31);
+  EXPECT_EQ(isqrt((1ULL << 62) - 1), (1ULL << 31) - 1);
+}
+
+TEST(MathUtil, Icbrt) {
+  EXPECT_EQ(icbrt(0), 0u);
+  EXPECT_EQ(icbrt(1), 1u);
+  EXPECT_EQ(icbrt(7), 1u);
+  EXPECT_EQ(icbrt(8), 2u);
+  EXPECT_EQ(icbrt(26), 2u);
+  EXPECT_EQ(icbrt(27), 3u);
+  EXPECT_EQ(icbrt(63), 3u);
+  EXPECT_EQ(icbrt(64), 4u);
+  EXPECT_EQ(icbrt(125), 5u);
+  EXPECT_EQ(icbrt(216), 6u);
+  EXPECT_EQ(icbrt(1000000), 100u);
+  // Exact at huge perfect cubes and at the top of the range.
+  const std::uint64_t r = 2642244;
+  EXPECT_EQ(icbrt(r * r * r), r);
+  EXPECT_EQ(icbrt(r * r * r - 1), r - 1);
+  EXPECT_EQ(icbrt(UINT64_MAX), 2642245u);
 }
 
 TEST(MathUtil, IsPrime) {
