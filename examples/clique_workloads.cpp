@@ -26,19 +26,23 @@ int main(int argc, char** argv) {
     Graph g = gnp(n, 0.4, rng);
     std::vector<std::uint32_t> w(g.edges().size());
     for (auto& x : w) x = static_cast<std::uint32_t>(rng.uniform(1 << 16));
-    CliqueUnicast net(n, 64);
-    auto r = clique_mst(net, g, w);
     auto ref = kruskal_reference(g, w);
     std::uint64_t ref_weight = 0;
     for (const auto& e : ref) ref_weight += e.weight;
-    std::printf("MST  : n=%d m=%zu -> %zu tree edges, weight=%llu "
-                "(reference %llu, %s), %d Borůvka phases, %d rounds, %llu bits\n",
-                n, g.num_edges(), r.tree.size(),
-                static_cast<unsigned long long>(r.total_weight),
-                static_cast<unsigned long long>(ref_weight),
-                r.total_weight == ref_weight ? "match" : "MISMATCH", r.phases,
-                r.stats.rounds,
-                static_cast<unsigned long long>(r.stats.total_bits));
+    for (MstAlgorithm algo : {MstAlgorithm::kBoruvka, MstAlgorithm::kLotker}) {
+      CliqueUnicast net(n, 64);
+      auto r = clique_mst(net, g, w, algo);
+      std::printf("MST  : n=%d m=%zu [%s] -> %zu tree edges, weight=%llu "
+                  "(reference %llu, %s), %d phases, %d rounds, %llu bits\n",
+                  n, g.num_edges(),
+                  algo == MstAlgorithm::kBoruvka ? "boruvka" : "lotker",
+                  r.tree.size(),
+                  static_cast<unsigned long long>(r.total_weight),
+                  static_cast<unsigned long long>(ref_weight),
+                  r.total_weight == ref_weight ? "match" : "MISMATCH", r.phases,
+                  r.stats.rounds,
+                  static_cast<unsigned long long>(r.stats.total_bits));
+    }
   }
   {
     std::vector<std::vector<std::uint32_t>> inputs(static_cast<std::size_t>(n));

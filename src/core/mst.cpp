@@ -1,9 +1,9 @@
 #include "core/mst.h"
 
 #include <algorithm>
-#include <map>
 #include <numeric>
 
+#include "routing/router.h"
 #include "util/math_util.h"
 
 namespace cclique {
@@ -42,39 +42,116 @@ struct UnionFind {
   }
 };
 
-}  // namespace
+/// One inter-fragment candidate edge; u lies on the submitting side.
+struct EdgeRecord {
+  bool valid = false;
+  int u = 0, v = 0;
+  std::uint32_t w = 0;
+};
 
-MstResult clique_mst(CliqueUnicast& net, const Graph& g,
-                     const std::vector<std::uint32_t>& weights) {
+bool record_less(const EdgeRecord& a, const EdgeRecord& b) {
+  return edge_key(a.u, a.v, a.w) < edge_key(b.u, b.v, b.w);
+}
+
+std::uint64_t pack_record(const EdgeRecord& r, int addr) {
+  return (static_cast<std::uint64_t>(r.u) << (addr + 32)) |
+         (static_cast<std::uint64_t>(r.v) << 32) | r.w;
+}
+
+EdgeRecord unpack_record(std::uint64_t bits, int addr) {
+  EdgeRecord r;
+  r.valid = true;
+  r.u = static_cast<int>(bits >> (addr + 32));
+  r.v = static_cast<int>((bits >> 32) & ((1ULL << addr) - 1));
+  r.w = static_cast<std::uint32_t>(bits & 0xFFFFFFFFULL);
+  return r;
+}
+
+/// Adjacency-indexed incident weights: weight_at[v][i] is the weight of
+/// edge {v, g.neighbors(v)[i]}. One O(m log d) build replaces the former
+/// std::map lookup per neighbor per phase (O(m log m) local work per phase).
+std::vector<std::vector<std::uint32_t>> build_incident_weights(
+    const Graph& g, const std::vector<std::uint32_t>& weights) {
   const int n = g.num_vertices();
-  CC_REQUIRE(net.n() == n, "one player per vertex");
-  CC_REQUIRE(n <= (1 << 13), "vertex ids exceed the packed edge-key width");
-  const auto edges = g.edges();
-  CC_REQUIRE(weights.size() == edges.size(), "one weight per edge");
-
-  // Local incident-edge tables (this is the nodes' input knowledge).
-  std::map<std::pair<int, int>, std::uint32_t> weight_of;
-  for (std::size_t e = 0; e < edges.size(); ++e) {
-    weight_of[{edges[e].u, edges[e].v}] = weights[e];
+  std::vector<std::vector<std::uint32_t>> weight_at(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    weight_at[static_cast<std::size_t>(v)].resize(g.neighbors(v).size());
   }
-  auto incident_weight = [&](int u, int v) {
-    auto it = weight_of.find({std::min(u, v), std::max(u, v)});
-    CC_CHECK(it != weight_of.end(), "edge weight lookup failed");
-    return it->second;
-  };
+  const auto edges = g.edges();
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const int u = edges[e].u;
+    const int v = edges[e].v;
+    const auto& au = g.neighbors(u);
+    const auto& av = g.neighbors(v);
+    weight_at[static_cast<std::size_t>(u)][static_cast<std::size_t>(
+        std::lower_bound(au.begin(), au.end(), v) - au.begin())] = weights[e];
+    weight_at[static_cast<std::size_t>(v)][static_cast<std::size_t>(
+        std::lower_bound(av.begin(), av.end(), u) - av.begin())] = weights[e];
+  }
+  return weight_at;
+}
 
-  const int addr = bits_for(static_cast<std::uint64_t>(std::max(1, n)));
+/// Provable per-(directed edge, hop) record cap for route_two_phase at
+/// per-player demand <= m: when a message is placed, fewer than n/2 relays
+/// have sender-side load >= ceil(2m/n) and fewer than n/2 have
+/// receiver-side load >= ceil(2m/n), so the greedy always finds a relay
+/// below the cap on both sides.
+std::uint64_t route_edge_records(std::uint64_t m, int n) {
+  return ceil_div(2 * m, static_cast<std::uint64_t>(n));
+}
+
+/// Round cap for one route_two_phase call (two unicast_payloads hops).
+int route_cap_rounds(std::uint64_t m, int n, int wire_record_bits, int b) {
+  if (m == 0) return 0;
+  const std::uint64_t per_edge_bits =
+      route_edge_records(m, n) * static_cast<std::uint64_t>(wire_record_bits);
+  return 2 * static_cast<int>(ceil_div(per_edge_bits, static_cast<std::uint64_t>(b)));
+}
+
+/// Shared per-run state of the two schedules: fragment bookkeeping is the
+/// same; only the per-phase candidate selection and merge rule differ.
+struct MstEngine {
+  CliqueUnicast& net;
+  const Graph& g;
+  int n;
+  int addr;      // node-id field width
+  int rec_bits;  // one edge record: 2*addr + 32
+  std::vector<std::vector<std::uint32_t>> weight_at;
+  UnionFind fragments;
+  std::vector<char> complete;  // by fragment root id
   MstResult result;
-  // Every node tracks the fragment of every node (consistent by
-  // construction: identical deterministic merges everywhere).
-  UnionFind fragments(n);
 
-  for (int phase = 0; phase < n; ++phase) {
-    // --- step 1: fragment announcement (1 round) ---------------------
-    // Fragment states are already consistent; the announcement models the
-    // information flow (each node broadcasts its fragment id).
-    std::vector<int> frag(static_cast<std::size_t>(n));
+  // Refreshed at each phase start.
+  std::vector<int> frag;        // frag[v] = fragment root of v
+  std::vector<int> live_roots;  // roots of incomplete fragments, ascending
+
+  MstEngine(CliqueUnicast& net_in, const Graph& g_in,
+            const std::vector<std::uint32_t>& weights)
+      : net(net_in),
+        g(g_in),
+        n(g_in.num_vertices()),
+        addr(bits_for(static_cast<std::uint64_t>(std::max(1, n)))),
+        rec_bits(2 * addr + 32),
+        weight_at(build_incident_weights(g_in, weights)),
+        fragments(n),
+        complete(static_cast<std::size_t>(n), 0) {
+    frag.resize(static_cast<std::size_t>(n));
+  }
+
+  void refresh() {
+    live_roots.clear();
     for (int v = 0; v < n; ++v) frag[static_cast<std::size_t>(v)] = fragments.find(v);
+    for (int v = 0; v < n; ++v) {
+      if (frag[static_cast<std::size_t>(v)] == v && !complete[static_cast<std::size_t>(v)]) {
+        live_roots.push_back(v);
+      }
+    }
+  }
+
+  /// Step 1 of every phase (both schedules): each node announces its
+  /// fragment id to everyone. Fragment states are already consistent; the
+  /// announcement models the information flow. 1 round.
+  void announce_round() {
     net.round(
         [&](int i) {
           Message m;
@@ -86,120 +163,517 @@ MstResult clique_mst(CliqueUnicast& net, const Graph& g,
           return box;
         },
         [&](int, const std::vector<Message>&) {});
-
-    // --- step 2: lightest outgoing edge per node -> fragment leader ---
-    // candidate[v] = v's lightest incident edge leaving its fragment.
-    struct Candidate {
-      bool valid = false;
-      int u = 0, v = 0;
-      std::uint32_t w = 0;
-    };
-    std::vector<Candidate> node_candidate(static_cast<std::size_t>(n));
-    for (int v = 0; v < n; ++v) {
-      Candidate best;
-      for (int u : g.neighbors(v)) {
-        if (frag[static_cast<std::size_t>(u)] == frag[static_cast<std::size_t>(v)]) continue;
-        const std::uint32_t w = incident_weight(v, u);
-        if (!best.valid || edge_key(v, u, w) < edge_key(best.u, best.v, best.w)) {
-          best = Candidate{true, v, u, w};
-        }
-      }
-      node_candidate[static_cast<std::size_t>(v)] = best;
-    }
-    // One message per node to its leader (leader = fragment root id).
-    std::vector<Candidate> leader_best(static_cast<std::size_t>(n));
-    net.round(
-        [&](int i) {
-          std::vector<Message> box(static_cast<std::size_t>(n));
-          const Candidate& c = node_candidate[static_cast<std::size_t>(i)];
-          const int leader = frag[static_cast<std::size_t>(i)];
-          if (c.valid && leader != i) {
-            Message m;
-            m.push_uint(static_cast<std::uint64_t>(c.u), addr);
-            m.push_uint(static_cast<std::uint64_t>(c.v), addr);
-            m.push_uint(c.w, 32);
-            box[static_cast<std::size_t>(leader)] = std::move(m);
-          }
-          return box;
-        },
-        [&](int leader, const std::vector<Message>& inbox) {
-          Candidate& best = leader_best[static_cast<std::size_t>(leader)];
-          // Leader's own candidate participates.
-          const Candidate& own = node_candidate[static_cast<std::size_t>(leader)];
-          if (own.valid && frag[static_cast<std::size_t>(leader)] == leader) best = own;
-          for (int j = 0; j < n; ++j) {
-            const Message& m = inbox[static_cast<std::size_t>(j)];
-            if (m.empty()) continue;
-            BitReader r(m);
-            Candidate c;
-            c.valid = true;
-            c.u = static_cast<int>(r.read_uint(addr));
-            c.v = static_cast<int>(r.read_uint(addr));
-            c.w = static_cast<std::uint32_t>(r.read_uint(32));
-            if (!best.valid || edge_key(c.u, c.v, c.w) < edge_key(best.u, best.v, best.w)) {
-              best = c;
-            }
-          }
-        });
-
-    // --- step 3: leaders announce merge edges (1 round); local merge ---
-    std::vector<Candidate> announced(static_cast<std::size_t>(n));
-    net.round(
-        [&](int i) {
-          std::vector<Message> box(static_cast<std::size_t>(n));
-          const Candidate& c = leader_best[static_cast<std::size_t>(i)];
-          if (frag[static_cast<std::size_t>(i)] == i && c.valid) {
-            Message m;
-            m.push_uint(static_cast<std::uint64_t>(c.u), addr);
-            m.push_uint(static_cast<std::uint64_t>(c.v), addr);
-            m.push_uint(c.w, 32);
-            for (int j = 0; j < n; ++j) {
-              if (j != i) box[static_cast<std::size_t>(j)] = m;
-            }
-          }
-          return box;
-        },
-        [&](int receiver, const std::vector<Message>& inbox) {
-          if (receiver != 0) return;  // everyone decodes identically; model once
-          for (int j = 0; j < n; ++j) {
-            const Message& m = inbox[static_cast<std::size_t>(j)];
-            if (m.empty()) continue;
-            BitReader r(m);
-            Candidate c;
-            c.valid = true;
-            c.u = static_cast<int>(r.read_uint(addr));
-            c.v = static_cast<int>(r.read_uint(addr));
-            c.w = static_cast<std::uint32_t>(r.read_uint(32));
-            announced[static_cast<std::size_t>(j)] = c;
-          }
-        });
-    // Leaders' own announcements (self-knowledge).
-    for (int i = 0; i < n; ++i) {
-      if (frag[static_cast<std::size_t>(i)] == i && leader_best[static_cast<std::size_t>(i)].valid) {
-        announced[static_cast<std::size_t>(i)] = leader_best[static_cast<std::size_t>(i)];
-      }
-    }
-
-    bool merged_any = false;
-    for (int i = 0; i < n; ++i) {
-      const Candidate& c = announced[static_cast<std::size_t>(i)];
-      if (!c.valid) continue;
-      if (fragments.unite(c.u, c.v)) {
-        result.tree.push_back(WeightedEdge{std::min(c.u, c.v), std::max(c.u, c.v), c.w});
-        result.total_weight += c.w;
-        merged_any = true;
-      }
-    }
-    ++result.phases;
-    if (!merged_any) break;
   }
 
-  std::sort(result.tree.begin(), result.tree.end(),
+  void add_tree_edge(const EdgeRecord& c) {
+    result.tree.push_back(
+        WeightedEdge{std::min(c.u, c.v), std::max(c.u, c.v), c.w});
+    result.total_weight += c.w;
+  }
+
+  void run_boruvka_phase();
+  void run_lotker_phase(int submit_cap);
+};
+
+void MstEngine::run_boruvka_phase() {
+  announce_round();
+
+  // --- step 2: lightest outgoing edge per node -> fragment leader --------
+  std::vector<EdgeRecord> node_candidate(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    EdgeRecord best;
+    const auto& nb = g.neighbors(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const int u = nb[i];
+      if (frag[static_cast<std::size_t>(u)] == frag[static_cast<std::size_t>(v)]) continue;
+      const std::uint32_t w = weight_at[static_cast<std::size_t>(v)][i];
+      if (!best.valid || edge_key(v, u, w) < edge_key(best.u, best.v, best.w)) {
+        best = EdgeRecord{true, v, u, w};
+      }
+    }
+    node_candidate[static_cast<std::size_t>(v)] = best;
+  }
+  // One message per node to its leader (leader = fragment root id).
+  std::vector<EdgeRecord> leader_best(static_cast<std::size_t>(n));
+  net.round(
+      [&](int i) {
+        std::vector<Message> box(static_cast<std::size_t>(n));
+        const EdgeRecord& c = node_candidate[static_cast<std::size_t>(i)];
+        const int leader = frag[static_cast<std::size_t>(i)];
+        if (c.valid && leader != i) {
+          Message m;
+          m.push_uint(pack_record(c, addr), rec_bits);
+          box[static_cast<std::size_t>(leader)] = std::move(m);
+        }
+        return box;
+      },
+      [&](int leader, const std::vector<Message>& inbox) {
+        EdgeRecord& best = leader_best[static_cast<std::size_t>(leader)];
+        // Leader's own candidate participates.
+        const EdgeRecord& own = node_candidate[static_cast<std::size_t>(leader)];
+        if (own.valid && frag[static_cast<std::size_t>(leader)] == leader) best = own;
+        for (int j = 0; j < n; ++j) {
+          const Message& m = inbox[static_cast<std::size_t>(j)];
+          if (m.empty()) continue;
+          const EdgeRecord c = unpack_record(m.read_uint(0, rec_bits), addr);
+          if (!best.valid || record_less(c, best)) best = c;
+        }
+      });
+
+  // --- step 3: leaders announce merge edges (1 round); local merge -------
+  std::vector<EdgeRecord> announced(static_cast<std::size_t>(n));
+  net.round(
+      [&](int i) {
+        std::vector<Message> box(static_cast<std::size_t>(n));
+        const EdgeRecord& c = leader_best[static_cast<std::size_t>(i)];
+        if (frag[static_cast<std::size_t>(i)] == i && c.valid) {
+          Message m;
+          m.push_uint(pack_record(c, addr), rec_bits);
+          for (int j = 0; j < n; ++j) {
+            if (j != i) box[static_cast<std::size_t>(j)] = m;
+          }
+        }
+        return box;
+      },
+      [&](int receiver, const std::vector<Message>& inbox) {
+        if (receiver != 0) return;  // everyone decodes identically; model once
+        for (int j = 0; j < n; ++j) {
+          const Message& m = inbox[static_cast<std::size_t>(j)];
+          if (m.empty()) continue;
+          announced[static_cast<std::size_t>(j)] =
+              unpack_record(m.read_uint(0, rec_bits), addr);
+        }
+      });
+  // Leaders' own announcements (self-knowledge).
+  for (int r : live_roots) {
+    if (leader_best[static_cast<std::size_t>(r)].valid) {
+      announced[static_cast<std::size_t>(r)] = leader_best[static_cast<std::size_t>(r)];
+    }
+  }
+
+  // A live fragment whose leader announced nothing has no outgoing edge —
+  // it is a finished component and never participates again, so the
+  // schedule terminates without burning a merge-free phase.
+  for (int r : live_roots) {
+    if (!announced[static_cast<std::size_t>(r)].valid) complete[static_cast<std::size_t>(r)] = 1;
+  }
+  for (int r : live_roots) {
+    const EdgeRecord& c = announced[static_cast<std::size_t>(r)];
+    if (c.valid && fragments.unite(c.u, c.v)) add_tree_edge(c);
+  }
+}
+
+void MstEngine::run_lotker_phase(int submit_cap) {
+  announce_round();
+  const int F = static_cast<int>(live_roots.size());
+  const int k = submit_cap;
+
+  // Common-knowledge indexing: position of each live root, sorted members
+  // and in-fragment ranks.
+  std::vector<int> frag_index(static_cast<std::size_t>(n), -1);
+  for (int idx = 0; idx < F; ++idx) frag_index[static_cast<std::size_t>(live_roots[idx])] = idx;
+  std::vector<std::vector<int>> members(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    const int a = frag[static_cast<std::size_t>(v)];
+    if (!complete[static_cast<std::size_t>(a)]) members[static_cast<std::size_t>(a)].push_back(v);
+  }
+
+  // --- stage A: per-node per-target minima -> in-fragment aggregators ----
+  // Node v computes its own lightest edge to every adjacent fragment (local
+  // knowledge) and ships each record to the member of its fragment that
+  // aggregates that target (target index mod fragment size). Demand:
+  // <= F-1 records out per node, <= ceil(F/m)*m <= F+n in per aggregator.
+  std::vector<int> stamp(static_cast<std::size_t>(n), -1);
+  std::vector<EdgeRecord> best_to(static_cast<std::size_t>(n));
+  std::vector<std::vector<EdgeRecord>> agg_in(static_cast<std::size_t>(n));
+  RoutingDemand a_demand;
+  a_demand.payload_bits = rec_bits;
+  std::vector<int> touched;
+  for (int v = 0; v < n; ++v) {
+    const int a = frag[static_cast<std::size_t>(v)];
+    const auto& nb = g.neighbors(v);
+    touched.clear();
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const int u = nb[i];
+      const int x = frag[static_cast<std::size_t>(u)];
+      if (x == a) continue;
+      const std::uint32_t w = weight_at[static_cast<std::size_t>(v)][i];
+      const EdgeRecord cand{true, v, u, w};
+      if (stamp[static_cast<std::size_t>(x)] != v) {
+        stamp[static_cast<std::size_t>(x)] = v;
+        best_to[static_cast<std::size_t>(x)] = cand;
+        touched.push_back(x);
+      } else if (record_less(cand, best_to[static_cast<std::size_t>(x)])) {
+        best_to[static_cast<std::size_t>(x)] = cand;
+      }
+    }
+    const auto& mem = members[static_cast<std::size_t>(a)];
+    for (int x : touched) {
+      const EdgeRecord& rec = best_to[static_cast<std::size_t>(x)];
+      const int dest = mem[static_cast<std::size_t>(frag_index[static_cast<std::size_t>(x)]) %
+                          mem.size()];
+      if (dest == v) {
+        agg_in[static_cast<std::size_t>(v)].push_back(rec);
+      } else {
+        a_demand.messages.push_back(RoutedMessage{v, dest, pack_record(rec, addr)});
+      }
+    }
+  }
+  RoutingResult ra = route_two_phase(net, a_demand);
+  for (int p = 0; p < n; ++p) {
+    for (const auto& [src, payload] : ra.delivered[static_cast<std::size_t>(p)]) {
+      (void)src;
+      const EdgeRecord rec = unpack_record(payload, addr);
+      CC_CHECK(frag[static_cast<std::size_t>(rec.u)] == frag[static_cast<std::size_t>(p)],
+               "aggregated record must come from the aggregator's own fragment");
+      agg_in[static_cast<std::size_t>(p)].push_back(rec);
+    }
+  }
+
+  // --- stage B: aggregators reduce per target and forward to the leader --
+  std::vector<std::vector<EdgeRecord>> leader_in(static_cast<std::size_t>(n));
+  RoutingDemand b_demand;
+  b_demand.payload_bits = rec_bits;
+  std::fill(stamp.begin(), stamp.end(), -1);
+  for (int p = 0; p < n; ++p) {
+    if (agg_in[static_cast<std::size_t>(p)].empty()) continue;
+    const int a = frag[static_cast<std::size_t>(p)];
+    touched.clear();
+    for (const EdgeRecord& rec : agg_in[static_cast<std::size_t>(p)]) {
+      const int x = frag[static_cast<std::size_t>(rec.v)];
+      if (stamp[static_cast<std::size_t>(x)] != p) {
+        stamp[static_cast<std::size_t>(x)] = p;
+        best_to[static_cast<std::size_t>(x)] = rec;
+        touched.push_back(x);
+      } else if (record_less(rec, best_to[static_cast<std::size_t>(x)])) {
+        best_to[static_cast<std::size_t>(x)] = rec;
+      }
+    }
+    for (int x : touched) {
+      const EdgeRecord& rec = best_to[static_cast<std::size_t>(x)];
+      if (p == a) {
+        leader_in[static_cast<std::size_t>(a)].push_back(rec);
+      } else {
+        b_demand.messages.push_back(RoutedMessage{p, a, pack_record(rec, addr)});
+      }
+    }
+  }
+  RoutingResult rb = route_two_phase(net, b_demand);
+  for (int p = 0; p < n; ++p) {
+    for (const auto& [src, payload] : rb.delivered[static_cast<std::size_t>(p)]) {
+      (void)src;
+      const EdgeRecord rec = unpack_record(payload, addr);
+      CC_CHECK(frag[static_cast<std::size_t>(rec.u)] == p,
+               "fragment minima must arrive at the fragment's own leader");
+      leader_in[static_cast<std::size_t>(p)].push_back(rec);
+    }
+  }
+
+  // Leaders submit their k lightest per-target minima. Target slices are
+  // disjoint across aggregators, so each target appears exactly once.
+  std::vector<std::vector<EdgeRecord>> submit(static_cast<std::size_t>(n));
+  for (int r : live_roots) {
+    auto& list = leader_in[static_cast<std::size_t>(r)];
+    std::sort(list.begin(), list.end(), record_less);
+    const std::size_t take = std::min<std::size_t>(list.size(), static_cast<std::size_t>(k));
+    submit[static_cast<std::size_t>(r)].assign(list.begin(),
+                                               list.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+
+  // --- stage C: submit counts -> everyone (1 round). The counts make the
+  // submission layout common knowledge, so the scatter below is perfectly
+  // balanced by construction.
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(n), 0);
+  net.round(
+      [&](int i) {
+        std::vector<Message> box(static_cast<std::size_t>(n));
+        if (frag_index[static_cast<std::size_t>(i)] >= 0) {
+          Message m;
+          m.push_uint(submit[static_cast<std::size_t>(i)].size(), addr);
+          for (int j = 0; j < n; ++j) {
+            if (j != i) box[static_cast<std::size_t>(j)] = m;
+          }
+        }
+        return box;
+      },
+      [&](int receiver, const std::vector<Message>& inbox) {
+        if (receiver != 0) return;  // identical decode everywhere; model once
+        for (int r : live_roots) {
+          if (r == receiver) {
+            counts[static_cast<std::size_t>(r)] = submit[static_cast<std::size_t>(r)].size();
+            continue;
+          }
+          // Locality discipline: the count must arrive on the wire — a
+          // fallback into another player's private state would leak.
+          CC_CHECK(!inbox[static_cast<std::size_t>(r)].empty(),
+                   "live leader must announce its submission count");
+          counts[static_cast<std::size_t>(r)] =
+              inbox[static_cast<std::size_t>(r)].read_uint(0, addr);
+        }
+      });
+  std::vector<std::uint64_t> offset(static_cast<std::size_t>(n), 0);
+  std::uint64_t total = 0;
+  for (int idx = 0; idx < F; ++idx) {
+    offset[static_cast<std::size_t>(live_roots[idx])] = total;
+    total += counts[static_cast<std::size_t>(live_roots[idx])];
+  }
+  // Sum over fragments of min(k, F-1) with k = max(1, n/F) never exceeds n,
+  // so the scatter assigns at most one record per player.
+  CC_CHECK(total <= static_cast<std::uint64_t>(n),
+           "submission total exceeds the balanced-scatter capacity");
+
+  // --- stage D: balanced scatter (record g -> player g; <= 1 per edge) ---
+  std::vector<std::vector<Message>> scatter(
+      static_cast<std::size_t>(n), std::vector<Message>(static_cast<std::size_t>(n)));
+  std::vector<std::vector<EdgeRecord>> held(static_cast<std::size_t>(n));
+  for (int r : live_roots) {
+    const auto& list = submit[static_cast<std::size_t>(r)];
+    for (std::size_t t = 0; t < list.size(); ++t) {
+      const int dest = static_cast<int>((offset[static_cast<std::size_t>(r)] + t) %
+                                        static_cast<std::uint64_t>(n));
+      if (dest == r) {
+        held[static_cast<std::size_t>(r)].push_back(list[t]);
+      } else {
+        scatter[static_cast<std::size_t>(r)][static_cast<std::size_t>(dest)].push_uint(
+            pack_record(list[t], addr), rec_bits);
+      }
+    }
+  }
+  std::vector<std::vector<Message>> scatter_recv;
+  unicast_payloads(net, scatter, &scatter_recv);
+  for (int p = 0; p < n; ++p) {
+    for (int src = 0; src < n; ++src) {
+      const Message& stream = scatter_recv[static_cast<std::size_t>(p)][static_cast<std::size_t>(src)];
+      BitReader reader(stream);
+      while (reader.remaining() > 0) {
+        held[static_cast<std::size_t>(p)].push_back(
+            unpack_record(reader.read_uint(rec_bits), addr));
+      }
+    }
+    const std::size_t expected = static_cast<std::uint64_t>(p) < total ? 1 : 0;
+    CC_CHECK(held[static_cast<std::size_t>(p)].size() == expected,
+             "balanced scatter must deliver exactly one record per slot");
+  }
+
+  // --- stage E: all-broadcast of held records; every player assembles the
+  // full submitted fragment graph (identical decode everywhere; model once).
+  std::vector<std::vector<Message>> bcast(
+      static_cast<std::size_t>(n), std::vector<Message>(static_cast<std::size_t>(n)));
+  for (int p = 0; p < n; ++p) {
+    if (held[static_cast<std::size_t>(p)].empty()) continue;
+    Message stream;
+    for (const EdgeRecord& rec : held[static_cast<std::size_t>(p)]) {
+      stream.push_uint(pack_record(rec, addr), rec_bits);
+    }
+    for (int q = 0; q < n; ++q) {
+      if (q != p) bcast[static_cast<std::size_t>(p)][static_cast<std::size_t>(q)] = stream;
+    }
+  }
+  std::vector<std::vector<Message>> bcast_recv;
+  unicast_payloads(net, bcast, &bcast_recv);
+  std::vector<EdgeRecord> submitted;
+  submitted.reserve(static_cast<std::size_t>(total));
+  for (int q = 0; q < n; ++q) {
+    if (q == 0) {
+      for (const EdgeRecord& rec : held[0]) submitted.push_back(rec);
+      continue;
+    }
+    const Message& stream = bcast_recv[0][static_cast<std::size_t>(q)];
+    BitReader reader(stream);
+    while (reader.remaining() > 0) {
+      submitted.push_back(unpack_record(reader.read_uint(rec_bits), addr));
+    }
+  }
+  CC_CHECK(submitted.size() == total, "all-broadcast must reassemble every record");
+  std::sort(submitted.begin(), submitted.end(), record_less);
+
+  // --- local capped merge of the fragment graph (identical everywhere) ---
+  // Clusters of at most k fragments repeatedly merge along their true
+  // minimum outgoing edge. For a cluster C with |C| <= k, each member
+  // fragment either submitted its full target list or its k lightest — of
+  // which at most |C|-1 <= k-1 can point inside C — so the lightest
+  // submitted edge leaving C *is* the cluster's true minimum outgoing edge
+  // and the cut property makes it an MST edge. Clusters left with <= k
+  // fragments and no outgoing submitted edge are finished components.
+  std::vector<std::vector<EdgeRecord>> list(static_cast<std::size_t>(n));
+  for (const EdgeRecord& rec : submitted) {
+    const int a = frag[static_cast<std::size_t>(rec.u)];
+    CC_CHECK(frag_index[static_cast<std::size_t>(a)] >= 0 &&
+                 frag_index[static_cast<std::size_t>(frag[static_cast<std::size_t>(rec.v)])] >= 0,
+             "submitted records must connect live fragments");
+    list[static_cast<std::size_t>(a)].push_back(rec);  // globally sorted order
+  }
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(n), 0);
+  std::vector<int> fragcount(static_cast<std::size_t>(n), 0);
+  std::vector<std::vector<int>> cluster_members(static_cast<std::size_t>(n));
+  for (int r : live_roots) {
+    fragcount[static_cast<std::size_t>(r)] = 1;
+    cluster_members[static_cast<std::size_t>(r)].push_back(r);
+  }
+  auto min_outgoing = [&](int c) {
+    EdgeRecord best;
+    for (int a : cluster_members[static_cast<std::size_t>(c)]) {
+      auto& cur = cursor[static_cast<std::size_t>(a)];
+      const auto& la = list[static_cast<std::size_t>(a)];
+      // Entries pointing inside the cluster stay inside forever (clusters
+      // only grow), so the cursor never rewinds.
+      while (cur < la.size() && fragments.find(la[cur].v) == c) ++cur;
+      if (cur < la.size() && (!best.valid || record_less(la[cur], best))) best = la[cur];
+    }
+    return best;
+  };
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int c : live_roots) {
+      if (fragments.find(c) != c) continue;  // merged away
+      if (fragcount[static_cast<std::size_t>(c)] > k) continue;
+      const EdgeRecord e = min_outgoing(c);
+      if (!e.valid) continue;
+      const int other = fragments.find(e.v);
+      const bool united = fragments.unite(e.u, e.v);
+      CC_CHECK(united, "merge edge must join two clusters");
+      add_tree_edge(e);
+      const int nr = fragments.find(e.u);
+      const int from = nr == c ? other : c;
+      fragcount[static_cast<std::size_t>(nr)] += fragcount[static_cast<std::size_t>(from)];
+      fragcount[static_cast<std::size_t>(from)] = 0;
+      auto& into = cluster_members[static_cast<std::size_t>(nr)];
+      auto& out = cluster_members[static_cast<std::size_t>(from)];
+      into.insert(into.end(), out.begin(), out.end());
+      out.clear();
+      progress = true;
+    }
+  }
+  // Surviving clusters with <= k fragments have no outgoing submitted edge,
+  // hence (by the safety argument above) no outgoing edge at all: finished.
+  for (int c : live_roots) {
+    if (fragments.find(c) == c && fragcount[static_cast<std::size_t>(c)] <= k) {
+      complete[static_cast<std::size_t>(c)] = 1;
+    }
+  }
+}
+
+}  // namespace
+
+MstPhasePlan mst_phase_plan(MstAlgorithm algorithm, int n, int live_fragments,
+                            int bandwidth) {
+  CC_REQUIRE(n >= 1 && live_fragments >= 0 && live_fragments <= n,
+             "fragment count must lie in [0, n]");
+  CC_REQUIRE(bandwidth >= 1, "bandwidth must be positive");
+  const int addr = bits_for(static_cast<std::uint64_t>(std::max(1, n)));
+  const std::uint64_t rec = static_cast<std::uint64_t>(2 * addr + 32);
+  const std::uint64_t wire_rec = static_cast<std::uint64_t>(addr) + rec;  // router framing
+  const std::uint64_t un = static_cast<std::uint64_t>(n);
+  const std::uint64_t uf = static_cast<std::uint64_t>(live_fragments);
+  const std::uint64_t announce_bits = un * (un - 1) * static_cast<std::uint64_t>(addr);
+  MstPhasePlan plan;
+  plan.fragments = live_fragments;
+  if (algorithm == MstAlgorithm::kBoruvka) {
+    plan.submit_cap = 1;
+    plan.max_rounds = 3;  // exact: announce + candidates + leader broadcast
+    plan.max_bits = announce_bits + un * rec + uf * (un - 1) * rec;
+    return plan;
+  }
+  const int k = std::max(1, n / std::max(1, live_fragments));
+  plan.submit_cap = k;
+  // Stage demand bounds, data-independent given (n, F): members send one
+  // record per adjacent fragment (<= F-1 out) to rank-sliced aggregators
+  // (<= ceil(F/m)*m <= F+n in); aggregators forward <= F-1 records to the
+  // leader; the count round and the (<= 1 record per edge) scatter and
+  // all-broadcast are single chunked exchanges.
+  const std::uint64_t m_a = uf + un;
+  const std::uint64_t m_b = uf;
+  const int single_record_rounds =
+      static_cast<int>(ceil_div(rec, static_cast<std::uint64_t>(bandwidth)));
+  plan.max_rounds = 1  // announcement
+                    + route_cap_rounds(m_a, n, static_cast<int>(wire_rec), bandwidth)
+                    + route_cap_rounds(m_b, n, static_cast<int>(wire_rec), bandwidth)
+                    + 1  // count broadcast
+                    + single_record_rounds   // scatter
+                    + single_record_rounds;  // all-broadcast
+  const std::uint64_t f_minus = uf == 0 ? 0 : uf - 1;
+  plan.max_bits = announce_bits
+                  + 2 * un * f_minus * wire_rec   // stage A, two hops
+                  + 2 * uf * f_minus * wire_rec   // stage B, two hops
+                  + uf * (un - 1) * static_cast<std::uint64_t>(addr)  // counts
+                  + un * rec                      // scatter, <= n records
+                  + un * (un - 1) * rec;          // all-broadcast
+  return plan;
+}
+
+int mst_lotker_phase_bound(int n) {
+  if (n <= 1) return 0;
+  int phases = 0;
+  // Guaranteed growth: a phase entered with minimum live fragment size s
+  // uses k >= s and leaves every live cluster with more than k fragments,
+  // so s' >= s*(s+1). A phase can run only while two live fragments fit.
+  std::uint64_t s = 1;
+  while (2 * s <= static_cast<std::uint64_t>(n)) {
+    s *= s + 1;
+    ++phases;
+  }
+  return phases;
+}
+
+MstResult clique_mst(CliqueUnicast& net, const Graph& g,
+                     const std::vector<std::uint32_t>& weights,
+                     MstAlgorithm algorithm) {
+  const int n = g.num_vertices();
+  CC_REQUIRE(net.n() == n, "one player per vertex");
+  CC_REQUIRE(n <= (1 << 13), "vertex ids exceed the packed edge-key width");
+  CC_REQUIRE(weights.size() == g.edges().size(), "one weight per edge");
+  const int addr = bits_for(static_cast<std::uint64_t>(std::max(1, n)));
+  CC_REQUIRE(net.bandwidth() >= 2 * addr + 32,
+             "bandwidth must fit one edge record per message");
+
+  MstEngine engine(net, g, weights);
+  engine.result.algorithm = algorithm;
+  while (true) {
+    engine.refresh();
+    // A single live fragment cannot have an outgoing edge (every other
+    // fragment is a finished component), so the forest is complete; no
+    // merge-free phase is ever executed to discover termination.
+    if (engine.live_roots.size() <= 1) break;
+    const int live = static_cast<int>(engine.live_roots.size());
+    const MstPhasePlan plan = mst_phase_plan(algorithm, n, live, net.bandwidth());
+    const int rounds_before = net.stats().rounds;
+    const std::uint64_t bits_before = net.stats().total_bits;
+    if (algorithm == MstAlgorithm::kBoruvka) {
+      engine.run_boruvka_phase();
+    } else {
+      engine.run_lotker_phase(plan.submit_cap);
+    }
+    MstPhaseCost cost;
+    cost.fragments = live;
+    cost.rounds = net.stats().rounds - rounds_before;
+    cost.bits = net.stats().total_bits - bits_before;
+    cost.plan = plan;
+    // The cap is computed from (n, F, b) alone before the phase runs; a
+    // violation means the schedule left its data-independent budget.
+    if (algorithm == MstAlgorithm::kBoruvka) {
+      CC_CHECK(cost.rounds == plan.max_rounds,
+               "Borůvka phase must cost exactly its planned rounds");
+    } else {
+      CC_CHECK(cost.rounds <= plan.max_rounds,
+               "Lotker phase exceeded its planned round cap");
+    }
+    CC_CHECK(cost.bits <= plan.max_bits, "phase exceeded its planned bit cap");
+    engine.result.phase_costs.push_back(cost);
+    ++engine.result.phases;
+  }
+
+  std::sort(engine.result.tree.begin(), engine.result.tree.end(),
             [](const WeightedEdge& a, const WeightedEdge& b) {
               return edge_key(a.u, a.v, a.weight) < edge_key(b.u, b.v, b.weight);
             });
-  result.stats = net.stats();
-  return result;
+  engine.result.stats = net.stats();
+  return engine.result;
+}
+
+MstResult clique_mst(CliqueUnicast& net, const Graph& g,
+                     const std::vector<std::uint32_t>& weights) {
+  return clique_mst(net, g, weights, MstAlgorithm::kBoruvka);
 }
 
 std::vector<WeightedEdge> kruskal_reference(const Graph& g,

@@ -7,6 +7,25 @@
 
 namespace cclique {
 
+namespace {
+
+/// Composite tie-broken sort key: (key, source player, local index). The
+/// suffix fields are globally distinct, so the composite order is a total
+/// order refining the key order — equal keys are spread by global rank
+/// instead of collapsing into one bucket.
+std::uint64_t composite_key(std::uint32_t key, int source, std::size_t index,
+                            int addr, int kbits) {
+  return (static_cast<std::uint64_t>(key) << (addr + kbits)) |
+         (static_cast<std::uint64_t>(source) << kbits) |
+         static_cast<std::uint64_t>(index);
+}
+
+std::uint32_t composite_to_key(std::uint64_t ckey, int addr, int kbits) {
+  return static_cast<std::uint32_t>(ckey >> (addr + kbits));
+}
+
+}  // namespace
+
 SortResult clique_sort(CliqueUnicast& net,
                        const std::vector<std::vector<std::uint32_t>>& inputs) {
   const int n = net.n();
@@ -16,24 +35,37 @@ SortResult clique_sort(CliqueUnicast& net,
     CC_REQUIRE(block.size() == k, "all players must hold equally many keys");
   }
   CC_REQUIRE(k >= 1, "need at least one key per player");
+  const int addr = bits_for(static_cast<std::uint64_t>(n));
+  const int kbits = bits_for(static_cast<std::uint64_t>(k));
+  CC_REQUIRE(addr + kbits <= 32,
+             "composite tie-break must fit a 64-bit payload next to the key");
+  const int cw = 32 + addr + kbits;  // composite width on the wire
+  CC_REQUIRE(net.bandwidth() >= cw,
+             "bandwidth must fit one composite sample per message");
 
-  // Phase 0: local sort (free — computation is not charged).
+  // Phase 0: local sort (free — computation is not charged). Sorting plain
+  // keys sorts the composites too: within one block the source is fixed
+  // and the local index ascends.
   std::vector<std::vector<std::uint32_t>> local(inputs);
   for (auto& block : local) std::sort(block.begin(), block.end());
 
-  // Phase 1a: regular samples — player i sends its (j+1)/(n+1) quantile to
-  // player j (one 32-bit message per edge, 1 chunked exchange).
-  std::vector<std::vector<std::uint32_t>> column(static_cast<std::size_t>(n));
+  // Phase 1a: regular samples — player i sends its (j+1)/(n+1) quantile
+  // composite to player j (one cw-bit message per edge, 1 chunked exchange).
+  const auto sample_index = [&](int j) {
+    std::size_t idx = (static_cast<std::size_t>(j) + 1) * k /
+                      (static_cast<std::size_t>(n) + 1);
+    return idx >= k ? k - 1 : idx;
+  };
+  std::vector<std::vector<std::uint64_t>> column(static_cast<std::size_t>(n));
   net.round(
       [&](int i) {
         std::vector<Message> box(static_cast<std::size_t>(n));
         for (int j = 0; j < n; ++j) {
           if (j == i) continue;
-          std::size_t idx = (static_cast<std::size_t>(j) + 1) * k /
-                            (static_cast<std::size_t>(n) + 1);
-          if (idx >= k) idx = k - 1;
+          const std::size_t idx = sample_index(j);
           Message m;
-          m.push_uint(local[static_cast<std::size_t>(i)][idx], 32);
+          m.push_uint(
+              composite_key(local[static_cast<std::size_t>(i)][idx], i, idx, addr, kbits), cw);
           box[static_cast<std::size_t>(j)] = std::move(m);
         }
         return box;
@@ -41,32 +73,36 @@ SortResult clique_sort(CliqueUnicast& net,
       [&](int j, const std::vector<Message>& inbox) {
         for (int i = 0; i < n; ++i) {
           if (i == j) {
-            std::size_t idx = (static_cast<std::size_t>(j) + 1) * k /
-                              (static_cast<std::size_t>(n) + 1);
-            if (idx >= k) idx = k - 1;
-            column[static_cast<std::size_t>(j)].push_back(local[static_cast<std::size_t>(j)][idx]);
+            const std::size_t idx = sample_index(j);
+            column[static_cast<std::size_t>(j)].push_back(
+                composite_key(local[static_cast<std::size_t>(j)][idx], j, idx, addr, kbits));
             continue;
           }
           const Message& m = inbox[static_cast<std::size_t>(i)];
-          if (!m.empty()) {
-            column[static_cast<std::size_t>(j)].push_back(
-                static_cast<std::uint32_t>(m.read_uint(0, 32)));
-          }
+          CC_CHECK(!m.empty(), "every player must deliver its regular sample");
+          column[static_cast<std::size_t>(j)].push_back(m.read_uint(0, cw));
         }
       });
 
-  // Player j's splitter = median of its sample column; all-gather them.
-  std::vector<std::uint32_t> my_splitter(static_cast<std::size_t>(n));
+  // Player j's splitter = the rank-proportional element of its sample
+  // column (rank (j+1)n/(n+1), i.e. column j contributes the j-th of the n
+  // evenly spaced elements of the global sample order). A column median
+  // would pin every splitter to the same source coordinate and collapse
+  // duplicate-heavy inputs back into one bucket; the proportional rank
+  // spreads the splitters across the tie-break dimensions. All-gather them.
+  std::vector<std::uint64_t> my_splitter(static_cast<std::size_t>(n));
   for (int j = 0; j < n; ++j) {
     auto& col = column[static_cast<std::size_t>(j)];
     std::sort(col.begin(), col.end());
-    my_splitter[static_cast<std::size_t>(j)] = col[col.size() / 2];
+    const std::size_t rank = (static_cast<std::size_t>(j) + 1) * col.size() /
+                             (static_cast<std::size_t>(n) + 1);
+    my_splitter[static_cast<std::size_t>(j)] = col[std::min(rank, col.size() - 1)];
   }
-  std::vector<std::uint32_t> splitters(static_cast<std::size_t>(n));
+  std::vector<std::uint64_t> splitters(static_cast<std::size_t>(n));
   net.round(
       [&](int i) {
         Message m;
-        m.push_uint(my_splitter[static_cast<std::size_t>(i)], 32);
+        m.push_uint(my_splitter[static_cast<std::size_t>(i)], cw);
         std::vector<Message> box(static_cast<std::size_t>(n));
         for (int j = 0; j < n; ++j) {
           if (j != i) box[static_cast<std::size_t>(j)] = m;
@@ -76,39 +112,49 @@ SortResult clique_sort(CliqueUnicast& net,
       [&](int receiver, const std::vector<Message>& inbox) {
         if (receiver != 0) return;  // identical decode everywhere; model once
         for (int i = 0; i < n; ++i) {
+          if (i == receiver) {
+            splitters[static_cast<std::size_t>(i)] = my_splitter[static_cast<std::size_t>(i)];
+            continue;
+          }
+          // Locality discipline: the splitter must arrive on the wire — a
+          // fallback into another player's private my_splitter would let
+          // the receiver read state it was never sent.
+          CC_CHECK(!inbox[static_cast<std::size_t>(i)].empty(),
+                   "every player must deliver its splitter");
           splitters[static_cast<std::size_t>(i)] =
-              (i == 0 && inbox[0].empty())
-                  ? my_splitter[0]
-                  : (inbox[static_cast<std::size_t>(i)].empty()
-                         ? my_splitter[static_cast<std::size_t>(i)]
-                         : static_cast<std::uint32_t>(
-                               inbox[static_cast<std::size_t>(i)].read_uint(0, 32)));
+              inbox[static_cast<std::size_t>(i)].read_uint(0, cw);
         }
       });
   std::sort(splitters.begin(), splitters.end());
   // The last splitter is unused (bucket n-1 is open-ended).
   splitters.pop_back();
 
-  // Phase 2: route every key to its bucket owner.
+  // Phase 2: route every key (as its composite) to its bucket owner.
   RoutingDemand demand;
-  demand.payload_bits = 32;
+  demand.payload_bits = cw;
   for (int i = 0; i < n; ++i) {
-    for (std::uint32_t key : local[static_cast<std::size_t>(i)]) {
+    for (std::size_t t = 0; t < k; ++t) {
+      const std::uint64_t ckey =
+          composite_key(local[static_cast<std::size_t>(i)][t], i, t, addr, kbits);
       const int bucket = static_cast<int>(
-          std::upper_bound(splitters.begin(), splitters.end(), key) -
+          std::upper_bound(splitters.begin(), splitters.end(), ckey) -
           splitters.begin());
-      demand.messages.push_back(RoutedMessage{i, bucket, key});
+      demand.messages.push_back(RoutedMessage{i, bucket, ckey});
     }
   }
   RoutingResult bucketed = route_two_phase(net, demand);
-  std::vector<std::vector<std::uint32_t>> bucket_keys(static_cast<std::size_t>(n));
+  std::vector<std::vector<std::uint64_t>> bucket_keys(static_cast<std::size_t>(n));
+  SortResult result;
+  result.bucket_loads.assign(static_cast<std::size_t>(n), 0);
   for (int j = 0; j < n; ++j) {
     for (const auto& [src, payload] : bucketed.delivered[static_cast<std::size_t>(j)]) {
       (void)src;
-      bucket_keys[static_cast<std::size_t>(j)].push_back(static_cast<std::uint32_t>(payload));
+      bucket_keys[static_cast<std::size_t>(j)].push_back(payload);
     }
     std::sort(bucket_keys[static_cast<std::size_t>(j)].begin(),
               bucket_keys[static_cast<std::size_t>(j)].end());
+    result.bucket_loads[static_cast<std::size_t>(j)] =
+        bucket_keys[static_cast<std::size_t>(j)].size();
   }
 
   // Phase 3: all-gather bucket counts; compute exact rank offsets; route
@@ -128,10 +174,15 @@ SortResult clique_sort(CliqueUnicast& net,
       [&](int receiver, const std::vector<Message>& inbox) {
         if (receiver != 0) return;
         for (int i = 0; i < n; ++i) {
+          if (i == receiver) {
+            counts[static_cast<std::size_t>(i)] =
+                bucket_keys[static_cast<std::size_t>(i)].size();
+            continue;
+          }
+          CC_CHECK(!inbox[static_cast<std::size_t>(i)].empty(),
+                   "every bucket owner must deliver its count");
           counts[static_cast<std::size_t>(i)] =
-              inbox[static_cast<std::size_t>(i)].empty()
-                  ? bucket_keys[static_cast<std::size_t>(i)].size()
-                  : inbox[static_cast<std::size_t>(i)].read_uint(0, count_bits);
+              inbox[static_cast<std::size_t>(i)].read_uint(0, count_bits);
         }
       });
   std::vector<std::uint64_t> offset(static_cast<std::size_t>(n) + 1, 0);
@@ -147,12 +198,12 @@ SortResult clique_sort(CliqueUnicast& net,
     for (std::size_t t = 0; t < bucket_keys[static_cast<std::size_t>(i)].size(); ++t) {
       const std::uint64_t rank = offset[static_cast<std::size_t>(i)] + t;
       final_demand.messages.push_back(RoutedMessage{
-          i, static_cast<int>(rank / k), bucket_keys[static_cast<std::size_t>(i)][t]});
+          i, static_cast<int>(rank / k),
+          composite_to_key(bucket_keys[static_cast<std::size_t>(i)][t], addr, kbits)});
     }
   }
   RoutingResult placed = route_two_phase(net, final_demand);
 
-  SortResult result;
   result.blocks.assign(static_cast<std::size_t>(n), {});
   for (int j = 0; j < n; ++j) {
     for (const auto& [src, payload] : placed.delivered[static_cast<std::size_t>(j)]) {

@@ -15,9 +15,25 @@
 //      global rank offsets and routes each key to its final owner, so
 //      player i ends with the keys of rank [i*k, (i+1)*k), sorted.
 //
+// Sampling, splitting and bucketing all operate on the tie-broken
+// composite key (key, source player, local index), which is globally
+// distinct even when every input key is equal — equal keys spread across
+// buckets by global rank instead of collapsing onto the single bucket
+// upper_bound would pick for them, so the ~2x balance bound (and with it
+// the O(1)-phase claim) survives duplicate-heavy inputs (all-equal and
+// per-player-constant layouts; the regression tests assert <= 2x).
+// Remaining gap vs [28]: splitters are rank-proportional picks of the
+// per-player sample columns, so inputs where every player holds the same
+// *mixed* low-cardinality multiset make the columns value-homogeneous and
+// the picks cannot spread inside a value class — bucket loads can then
+// reach a few multiples of the average (correctness and the exact-rank
+// final placement are unaffected). Lenzen's full splitter machinery would
+// close this; see DESIGN.md §4a.
+//
 // Output contract and verification mirror [28]'s sorting specification.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -30,11 +46,17 @@ struct SortResult {
   /// blocks[i] = keys held by player i afterwards (sorted); concatenating
   /// blocks yields the globally sorted sequence.
   std::vector<std::vector<std::uint32_t>> blocks;
+  /// bucket_loads[i] = number of keys routed to bucket owner i in phase 2.
+  /// The composite-key splitters keep every entry <= ~2x the average load
+  /// (nk/n = k) even on all-equal inputs; the regression tests assert it.
+  std::vector<std::size_t> bucket_loads;
   CommStats stats;
 };
 
 /// Sorts n*k keys (player i contributes inputs[i], all of size k) so that
 /// player i ends with ranks [i*k, (i+1)*k). Keys need not be distinct.
+/// Requires bits_for(n) + bits_for(k) <= 32 (the composite tie-break must
+/// fit a 64-bit routed payload next to the 32-bit key).
 SortResult clique_sort(CliqueUnicast& net,
                        const std::vector<std::vector<std::uint32_t>>& inputs);
 

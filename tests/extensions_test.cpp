@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
 
 #include "core/congest_c4.h"
 #include "core/dlp_subgraph.h"
@@ -17,6 +20,47 @@
 
 namespace cclique {
 namespace {
+
+/// Scoped CC_THREADS override (same pattern as engine_determinism_test):
+/// engines read the variable when they first schedule a round, so each
+/// protocol run constructs fresh engines.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(const char* value) {
+    const char* old = std::getenv("CC_THREADS");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    ::setenv("CC_THREADS", value, 1);
+  }
+  ~ScopedThreads() {
+    if (had_old_) {
+      ::setenv("CC_THREADS", old_.c_str(), 1);
+    } else {
+      ::unsetenv("CC_THREADS");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+int ceil_log2(int n) {
+  int p = 0;
+  while ((1 << p) < n) ++p;
+  return p;
+}
+
+void expect_tree_equals(const std::vector<WeightedEdge>& got,
+                        const std::vector<WeightedEdge>& ref,
+                        const std::string& label) {
+  ASSERT_EQ(got.size(), ref.size()) << label;
+  for (std::size_t e = 0; e < ref.size(); ++e) {
+    EXPECT_EQ(got[e].u, ref[e].u) << label << " edge " << e;
+    EXPECT_EQ(got[e].v, ref[e].v) << label << " edge " << e;
+    EXPECT_EQ(got[e].weight, ref[e].weight) << label << " edge " << e;
+  }
+}
 
 // ------------------------------------------------------------- CONGEST C4
 
@@ -185,6 +229,202 @@ TEST(CliqueMst, DuplicateWeightsHandledByTieBreak) {
   }
 }
 
+TEST(CliqueMst, NoMergeFreeFinalPhase) {
+  // A connected input must terminate without burning a merge-free phase:
+  // phases <= ceil(log2 n), and n = 2 takes exactly one phase (the old
+  // schedule charged a second, empty phase).
+  {
+    Graph g(2);
+    g.add_edge(0, 1);
+    CliqueUnicast net(2, 64);
+    auto r = clique_mst(net, g, {5});
+    EXPECT_EQ(r.phases, 1);
+    EXPECT_EQ(r.tree.size(), 1u);
+    EXPECT_EQ(r.stats.rounds, 3);  // exactly one 3-round phase
+  }
+  Rng rng(40);
+  for (int n : {4, 8, 16, 31, 32, 33}) {
+    Graph g = complete_graph(n);
+    std::vector<std::uint32_t> w(g.edges().size());
+    for (auto& x : w) x = static_cast<std::uint32_t>(rng.uniform(1 << 20));
+    CliqueUnicast net(n, 64);
+    auto r = clique_mst(net, g, w);
+    EXPECT_LE(r.phases, ceil_log2(n)) << "n=" << n;
+    EXPECT_EQ(r.stats.rounds, 3 * r.phases) << "n=" << n;
+  }
+}
+
+TEST(CliqueMst, PhaseBoundHoldsOnDisconnectedAndEdgelessInputs) {
+  // Disconnected components finish independently; the documented
+  // phases <= ceil(log2 n) contract must survive the worst simultaneous
+  // completions, and an edgeless graph needs one discovery phase.
+  for (MstAlgorithm alg : {MstAlgorithm::kBoruvka, MstAlgorithm::kLotker}) {
+    {
+      Graph g(6);  // edgeless
+      CliqueUnicast net(6, 64);
+      auto r = clique_mst(net, g, {}, alg);
+      EXPECT_TRUE(r.tree.empty());
+      EXPECT_EQ(r.phases, 1);
+    }
+    {
+      Graph g = complete_graph(4).disjoint_union(complete_graph(4));
+      std::vector<std::uint32_t> w(g.edges().size());
+      for (std::size_t e = 0; e < w.size(); ++e) w[e] = static_cast<std::uint32_t>(7 * e + 1);
+      CliqueUnicast net(8, 64);
+      auto r = clique_mst(net, g, w, alg);
+      EXPECT_EQ(r.tree.size(), 6u);
+      const int bound = alg == MstAlgorithm::kBoruvka ? ceil_log2(8)
+                                                      : mst_lotker_phase_bound(8) + 1;
+      EXPECT_LE(r.phases, bound);
+    }
+  }
+}
+
+TEST(CliqueMst, PerPhaseCostsMatchPlans) {
+  Rng rng(41);
+  const int n = 48;
+  Graph g = gnp(n, 0.3, rng);
+  std::vector<std::uint32_t> w(g.edges().size());
+  for (auto& x : w) x = static_cast<std::uint32_t>(rng.uniform(1 << 20));
+  for (MstAlgorithm alg : {MstAlgorithm::kBoruvka, MstAlgorithm::kLotker}) {
+    CliqueUnicast net(n, 64);
+    auto r = clique_mst(net, g, w, alg);
+    ASSERT_EQ(static_cast<int>(r.phase_costs.size()), r.phases);
+    int rounds = 0;
+    std::uint64_t bits = 0;
+    int prev_fragments = n + 1;
+    for (const auto& c : r.phase_costs) {
+      // Caps are data-independent functions of (n, F, b); the protocol
+      // already CC_CHECKs them — assert the recorded ledger agrees.
+      const MstPhasePlan plan = mst_phase_plan(alg, n, c.fragments, 64);
+      EXPECT_EQ(plan.max_rounds, c.plan.max_rounds);
+      EXPECT_EQ(plan.max_bits, c.plan.max_bits);
+      EXPECT_LE(c.rounds, c.plan.max_rounds);
+      EXPECT_LE(c.bits, c.plan.max_bits);
+      if (alg == MstAlgorithm::kBoruvka) {
+        EXPECT_EQ(c.rounds, 3);
+      }
+      EXPECT_LT(c.fragments, prev_fragments) << "fragments must strictly shrink";
+      prev_fragments = c.fragments;
+      rounds += c.rounds;
+      bits += c.bits;
+    }
+    EXPECT_EQ(rounds, r.stats.rounds);
+    EXPECT_EQ(bits, r.stats.total_bits);
+  }
+}
+
+// ------------------------------------------------------------ Lotker MST
+
+TEST(CliqueMstLotker, MatchesKruskalAcrossGenerators) {
+  Rng rng(42);
+  std::vector<std::pair<std::string, Graph>> cases;
+  for (double p : {0.1, 0.3, 0.7}) {
+    cases.emplace_back("gnp", gnp(40, p, rng));
+  }
+  cases.emplace_back("complete", complete_graph(24));
+  cases.emplace_back("path", path_graph(33));
+  cases.emplace_back("cycle", cycle_graph(20));
+  cases.emplace_back("star", star_graph(26));
+  cases.emplace_back("bipartite", complete_bipartite(9, 14));
+  cases.emplace_back("tree", random_tree(30, rng));
+  cases.emplace_back("polarity", polarity_graph(5));
+  for (auto& [name, g] : cases) {
+    const int n = g.num_vertices();
+    std::vector<std::uint32_t> w(g.edges().size());
+    for (auto& x : w) x = static_cast<std::uint32_t>(rng.uniform(1 << 20));
+    CliqueUnicast net(n, 64);
+    auto r = clique_mst(net, g, w, MstAlgorithm::kLotker);
+    expect_tree_equals(r.tree, kruskal_reference(g, w), name);
+    EXPECT_LE(r.phases, mst_lotker_phase_bound(n) + 1) << name;
+  }
+}
+
+TEST(CliqueMstLotker, AgreesWithBoruvkaOnTiedWeights) {
+  for (int n : {10, 17}) {
+    Graph g = complete_graph(n);
+    std::vector<std::uint32_t> w(g.edges().size(), 7);  // all equal
+    CliqueUnicast net1(n, 64), net2(n, 64);
+    auto lot = clique_mst(net1, g, w, MstAlgorithm::kLotker);
+    auto bor = clique_mst(net2, g, w, MstAlgorithm::kBoruvka);
+    expect_tree_equals(lot.tree, kruskal_reference(g, w), "lotker");
+    expect_tree_equals(bor.tree, kruskal_reference(g, w), "boruvka");
+    EXPECT_EQ(lot.total_weight, bor.total_weight);
+  }
+}
+
+TEST(CliqueMstLotker, DoublyExponentialPhaseCount) {
+  // Fragment sizes grow at least as s -> s*(s+1) per phase, so connected
+  // inputs finish within mst_lotker_phase_bound(n) = O(log log n) phases —
+  // strictly below the Borůvka count once log n separates from log log n.
+  Rng rng(43);
+  for (int n : {64, 128}) {
+    Graph g = path_graph(n);  // Borůvka's worst case: ceil(log2 n) phases
+    std::vector<std::uint32_t> w(g.edges().size());
+    for (auto& x : w) x = static_cast<std::uint32_t>(rng.uniform(1 << 20));
+    CliqueUnicast net1(n, 64), net2(n, 64);
+    auto lot = clique_mst(net1, g, w, MstAlgorithm::kLotker);
+    auto bor = clique_mst(net2, g, w, MstAlgorithm::kBoruvka);
+    expect_tree_equals(lot.tree, bor.tree, "path");
+    EXPECT_LE(lot.phases, mst_lotker_phase_bound(n)) << "n=" << n;
+    EXPECT_LT(lot.phases, bor.phases) << "n=" << n;
+  }
+  // The bound itself is doubly exponential: one extra phase covers the
+  // square of the reachable size.
+  EXPECT_EQ(mst_lotker_phase_bound(2), 1);
+  EXPECT_EQ(mst_lotker_phase_bound(4), 2);
+  EXPECT_EQ(mst_lotker_phase_bound(64), 3);
+  EXPECT_EQ(mst_lotker_phase_bound(256), 4);
+  EXPECT_EQ(mst_lotker_phase_bound(3000), 4);
+}
+
+TEST(CliqueMstLotker, ForestOnDisconnectedInput) {
+  Graph g = complete_graph(5).disjoint_union(complete_graph(4));
+  std::vector<std::uint32_t> w(g.edges().size());
+  for (std::size_t e = 0; e < w.size(); ++e) w[e] = static_cast<std::uint32_t>(e);
+  CliqueUnicast net(9, 64);
+  auto result = clique_mst(net, g, w, MstAlgorithm::kLotker);
+  EXPECT_EQ(result.tree.size(), 7u);  // (5-1) + (4-1)
+  expect_tree_equals(result.tree, kruskal_reference(g, w), "forest");
+}
+
+TEST(CliqueMst, StatsIdenticalAcrossThreadCounts) {
+  // The determinism contract (comm/model.h) extends through both MST
+  // schedules and the fixed sort: bit-identical stats at any CC_THREADS.
+  Rng rng(44);
+  const int n = 24;
+  Graph g = gnp(n, 0.4, rng);
+  std::vector<std::uint32_t> w(g.edges().size());
+  for (auto& x : w) x = static_cast<std::uint32_t>(rng.uniform(1 << 20));
+  std::vector<std::vector<std::uint32_t>> inputs(static_cast<std::size_t>(n));
+  for (auto& block : inputs) {
+    block.assign(static_cast<std::size_t>(n), 0);
+    for (auto& x : block) x = static_cast<std::uint32_t>(rng.uniform(1u << 20));
+  }
+  struct Baseline {
+    CommStats boruvka, lotker, sort;
+    std::uint64_t weight = 0;
+  } base;
+  bool have_base = false;
+  for (const char* threads : {"1", "2", "8"}) {
+    ScopedThreads scoped(threads);
+    CliqueUnicast net1(n, 64), net2(n, 64), net3(n, 64);
+    auto bor = clique_mst(net1, g, w, MstAlgorithm::kBoruvka);
+    auto lot = clique_mst(net2, g, w, MstAlgorithm::kLotker);
+    auto srt = clique_sort(net3, inputs);
+    if (!have_base) {
+      base = Baseline{bor.stats, lot.stats, srt.stats, bor.total_weight};
+      have_base = true;
+      continue;
+    }
+    EXPECT_EQ(bor.stats, base.boruvka) << "CC_THREADS=" << threads;
+    EXPECT_EQ(lot.stats, base.lotker) << "CC_THREADS=" << threads;
+    EXPECT_EQ(srt.stats, base.sort) << "CC_THREADS=" << threads;
+    EXPECT_EQ(bor.total_weight, base.weight) << "CC_THREADS=" << threads;
+    EXPECT_EQ(lot.total_weight, base.weight) << "CC_THREADS=" << threads;
+  }
+}
+
 // ---------------------------------------------------------------- Sorting
 
 TEST(CliqueSort, SortsRandomInputs) {
@@ -253,6 +493,83 @@ TEST(CliqueSort, AlreadySortedAndReversed) {
     }
     EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
   }
+}
+
+TEST(CliqueSort, AllEqualKeysKeepBucketsBalanced) {
+  // Regression: with every key equal, all plain-key splitters coincide and
+  // upper_bound used to send all n*k keys to one bucket (per-player in-load
+  // n*k, collapsing the O(1)-phase balance claim). The composite tie-break
+  // spreads equal keys by global rank instead.
+  const int n = 8;
+  const std::size_t k = 100;
+  std::vector<std::vector<std::uint32_t>> inputs(
+      static_cast<std::size_t>(n), std::vector<std::uint32_t>(k, 42));
+  CliqueUnicast net(n, 64);
+  auto result = clique_sort(net, inputs);
+  std::size_t total = 0;
+  for (std::size_t load : result.bucket_loads) {
+    EXPECT_LE(load, 2 * k) << "bucket load must stay <= ~2x the average";
+    total += load;
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(n) * k);
+  for (const auto& block : result.blocks) {
+    ASSERT_EQ(block.size(), k);
+    for (auto x : block) EXPECT_EQ(x, 42u);
+  }
+}
+
+TEST(CliqueSort, TwoValuedKeysKeepBucketsBalanced) {
+  // The duplicate-collapse adversary: values constant per player (two- and
+  // three-valued), so every plain-key splitter of the old scheme coincided
+  // and one bucket received all equal keys. The composite tie-break must
+  // keep every bucket <= ~2x the average.
+  const int n = 8;
+  const std::size_t k = 100;
+  for (int values : {2, 3}) {
+    std::vector<std::vector<std::uint32_t>> inputs(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      inputs[static_cast<std::size_t>(i)].assign(k, static_cast<std::uint32_t>(i % values));
+    }
+    CliqueUnicast net(n, 64);
+    auto result = clique_sort(net, inputs);
+    std::size_t total = 0;
+    for (std::size_t load : result.bucket_loads) {
+      EXPECT_LE(load, 2 * k) << values << "-valued: bucket load must stay <= ~2x average";
+      total += load;
+    }
+    EXPECT_EQ(total, static_cast<std::size_t>(n) * k);
+    std::vector<std::uint32_t> got;
+    for (const auto& block : result.blocks) {
+      for (auto x : block) got.push_back(x);
+    }
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+    EXPECT_EQ(got.size(), static_cast<std::size_t>(n) * k);
+  }
+}
+
+TEST(CliqueSort, IdenticalMixedBlocksStaySortedCorrectly) {
+  // Every player holding the same two-valued multiset stresses the
+  // *splitter selection* rather than the tie-break (the sample columns are
+  // value-homogeneous, so per-column rank selection cannot spread inside a
+  // value class — see the balance note in sorting.h). Correctness and the
+  // exact-rank final placement must hold regardless.
+  const int n = 8;
+  const std::size_t k = 60;
+  std::vector<std::vector<std::uint32_t>> inputs(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (std::size_t t = 0; t < k; ++t) {
+      inputs[static_cast<std::size_t>(i)].push_back(t % 2 == 0 ? 0u : 1u);
+    }
+  }
+  CliqueUnicast net(n, 64);
+  auto result = clique_sort(net, inputs);
+  std::vector<std::uint32_t> got;
+  for (const auto& block : result.blocks) {
+    EXPECT_EQ(block.size(), k);
+    for (auto x : block) got.push_back(x);
+  }
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+  EXPECT_EQ(got.size(), static_cast<std::size_t>(n) * k);
 }
 
 TEST(CliqueSort, ConstantPhaseRounds) {
