@@ -1,0 +1,62 @@
+// Exact all-pairs shortest paths on the unicast clique: the min-plus
+// semiring workload (DESIGN.md §2.4) end to end.
+//
+// Shows the whole pipeline: weighted graph -> one-step distance matrix
+// (player i holds row i) -> ⌈log2(n-1)⌉ distributed distance-product
+// squarings over the tropical semiring -> exact distances, eccentricities,
+// diameter and radius, with the measured rounds/bits checked against the
+// data-independent apsp_plan schedule, next to per-source Dijkstra as
+// ground truth.
+//
+//   ./apsp_distances [n] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "comm/clique_unicast.h"
+#include "core/apsp.h"
+#include "graph/generators.h"
+#include "linalg/tropical.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace cclique;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 27;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5;
+  Rng rng(seed);
+
+  // A connected weighted workload: a random tree plus random extra edges.
+  Graph g = random_tree(n, rng);
+  for (int extra = 0; extra < n / 2; ++extra) {
+    const int u = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+    const int v = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+    if (u != v) g.add_edge(u, v);
+  }
+  std::vector<std::uint32_t> w(g.num_edges());
+  for (auto& x : w) x = static_cast<std::uint32_t>(rng.uniform(1 << 10));
+  std::printf("graph: n=%d m=%zu (random tree + chords, weights < 1024)\n", n,
+              g.num_edges());
+
+  CliqueUnicast net(n, 64);
+  const ApspResult r = apsp_run(net, g, w);
+  const bool ok = r.dist == apsp_dijkstra_reference(g, w);
+  std::printf("APSP : %d squarings of the distance matrix, %d rounds, %llu bits\n"
+              "       (plan: %d rounds — measured==plan is CC_CHECKed per run)\n",
+              r.plan.squarings, r.total_rounds,
+              static_cast<unsigned long long>(r.total_bits),
+              r.plan.total_rounds);
+  std::printf("check: distances %s per-source Dijkstra\n",
+              ok ? "match" : "MISMATCH vs");
+  if (r.diameter == kTropicalInf) {
+    std::printf("graph is disconnected: diameter = radius = +inf\n");
+  } else {
+    std::printf("diameter=%llu radius=%llu ecc(0)=%llu\n",
+                static_cast<unsigned long long>(r.diameter),
+                static_cast<unsigned long long>(r.radius),
+                static_cast<unsigned long long>(r.eccentricity[0]));
+  }
+  std::printf("\none distance product costs the same 6·n^{1/3} schedule as the\n"
+              "F_{2^61-1} product of E17 (61-bit words, all-ones = +inf); APSP\n"
+              "is O(n^{1/3} log n) rounds total (§2.4, bench_e18)\n");
+  return ok ? 0 : 1;
+}

@@ -22,8 +22,15 @@
 namespace cclique {
 
 /// Round-synchronous engine for the broadcast congested clique.
+///
+/// Determinism: accounting is bit-identical at any CC_THREADS value (the
+/// comm/engine.h contract). Cost model: one round() / round_fill() call =
+/// exactly one round and at most n·b written bits (each charged once —
+/// the blackboard is read, not re-sent).
 class CliqueBroadcast {
  public:
+  /// Preconditions: n >= 1 players, per-broadcast bandwidth >= 1 bits
+  /// (CC_REQUIRE).
   CliqueBroadcast(int n, int bandwidth);
 
   int n() const { return core_.n(); }
@@ -34,6 +41,10 @@ class CliqueBroadcast {
 
   /// Executes one round; returns the blackboard row (message of player i at
   /// index i). All players may read the returned row — that is the model.
+  /// Cost: 1 round, sum-of-broadcast-sizes bits. Broadcast callbacks may
+  /// run concurrently (locality discipline); a broadcast over bandwidth()
+  /// bits throws ModelViolation and the round charges nothing. The row is
+  /// valid until the next round begins.
   const std::vector<Message>& round(const BcastFn& bcast);
 
   /// Broadcast-filling callback for the arena-backed fast path: append
@@ -70,6 +81,12 @@ class CliqueBroadcast {
 /// Broadcasts arbitrarily long per-player payloads by chunking into
 /// ceil(max_len / b) rounds; returns the full payload row (payloads[i] as
 /// every player now knows it) and sets *rounds_used.
+///
+/// Preconditions: payloads.size() == n (CC_REQUIRE). Cost: exactly
+/// ceil(max payload bits / b) rounds, sum-of-payload-bits written bits.
+/// Deterministic: the chunk schedule is a pure function of the payload
+/// lengths. The returned row is owned (copied out of the arena), so it
+/// may outlive subsequent rounds.
 std::vector<Message> broadcast_payloads(CliqueBroadcast& net,
                                         const std::vector<Message>& payloads,
                                         int* rounds_used);

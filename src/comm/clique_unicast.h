@@ -20,9 +20,16 @@
 namespace cclique {
 
 /// Round-synchronous engine for the unicast congested clique.
+///
+/// Determinism: all accounting (stats()) is bit-identical at any
+/// CC_THREADS value — see the contract in comm/engine.h / DESIGN.md §2.1.
+/// Cost model: one round() / round_fill() call = exactly one round and at
+/// most n(n-1)·b network bits; every bit is charged to stats(), never
+/// estimated.
 class CliqueUnicast {
  public:
-  /// n >= 1 players, per-edge per-round bandwidth `bandwidth` >= 1 bits.
+  /// Preconditions: n >= 1 players, per-edge per-round bandwidth
+  /// `bandwidth` >= 1 bits (CC_REQUIRE).
   CliqueUnicast(int n, int bandwidth);
 
   int n() const { return core_.n(); }
@@ -39,7 +46,13 @@ class CliqueUnicast {
   /// duration of the callback — copy what must outlive it.
   using RecvFn = std::function<void(int player, const std::vector<Message>& inbox)>;
 
-  /// Executes one synchronous round.
+  /// Executes one synchronous round: all outboxes are collected and
+  /// validated against pre-round state, then delivered. Cost: 1 round,
+  /// sum-of-message-sizes bits. Send callbacks may run concurrently
+  /// (locality discipline: read only the player's own pre-round state);
+  /// receive callbacks run serially in player order. A message over
+  /// bandwidth() bits, a non-empty self-slot, or a wrong-size outbox
+  /// throws ModelViolation and the round charges nothing.
   void round(const SendFn& send, const RecvFn& recv);
 
   /// Outbox-filling callback for the arena-backed fast path: `outbox` points
@@ -50,7 +63,9 @@ class CliqueUnicast {
 
   /// Executes one round without per-round heap allocation: outboxes live in
   /// the engine's arena and inboxes alias them (zero-copy delivery).
-  /// Semantics and accounting are identical to round().
+  /// Semantics, cost, and accounting are identical to round(); borrowed
+  /// messages are valid only until the next round begins (DESIGN.md §2.1,
+  /// arena lifetime rule).
   void round_fill(const FillFn& fill, const RecvFn& recv);
 
   /// Registers a 2-party partition (side[i] in {0,1}) so stats().cut_bits
@@ -79,6 +94,12 @@ class CliqueUnicast {
 /// ceil(L/b)-round streams (all edges progress in parallel). payload[i][j]
 /// is what player i wants player j to end up holding; on return,
 /// received[j][i] holds it. Returns the number of rounds used.
+///
+/// Preconditions: payload is an n x n matrix (CC_REQUIRE); diagonal
+/// entries are ignored only if empty (a non-empty self-payload trips the
+/// engine's self-message rule). Cost: exactly ceil(max payload bits / b)
+/// rounds and sum-of-payload-bits network bits. Deterministic: the chunk
+/// schedule is a pure function of the payload lengths.
 int unicast_payloads(CliqueUnicast& net,
                      const std::vector<std::vector<Message>>& payload,
                      std::vector<std::vector<Message>>* received);
@@ -114,8 +135,18 @@ inline int relay_chunk_index(int v, int p, int t, int n) {
 /// data-independent function of the protocol's parameters, never of input
 /// values) — relays and receivers locate chunks by recomputing lengths, so
 /// data-dependent lengths would leak information outside the accounting.
-/// payload[v][v] must be empty. On return received[r][v] holds payload[v][r].
-/// Returns the number of rounds used (both hops).
+/// payload[v][v] must be empty (CC_REQUIRE). On return received[r][v]
+/// holds payload[v][r]. Returns the number of rounds used (both hops).
+///
+/// Cost: with per-player total load <= M bits, each hop's per-edge load is
+/// <= ceil(M/n) + (payload count) remainder bits, so the delivery takes
+/// ~2·ceil(M/(n·b)) rounds versus direct chunking's ceil(max single
+/// payload / b) — the skew-flattening the block-MM protocols ride
+/// (DESIGN.md §2.2/§2.4). Exact costs are replayable from the length
+/// matrix alone (see relay_chunk_lo / core/block_mm.h), which is how the
+/// *_plan functions predict rounds and bits without running the protocol.
+/// Non-uniform payload widths (including zero-length pairs) are fine; the
+/// widths just must not depend on input data.
 int unicast_payloads_relayed(CliqueUnicast& net,
                              const std::vector<std::vector<Message>>& payload,
                              std::vector<std::vector<Message>>* received);

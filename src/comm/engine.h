@@ -92,6 +92,9 @@ class EngineCore {
   int n() const { return n_; }
   int bandwidth() const { return bandwidth_; }
 
+  /// Registers a 2-party partition for cut accounting. Preconditions:
+  /// side.size() == n and side[i] in {0, 1} (CC_REQUIRE). The registration
+  /// survives reset_stats(); only the accumulated cut_bits reset.
   void set_cut(std::vector<int> side);
   bool has_cut() const { return !cut_side_.empty(); }
 
@@ -154,7 +157,9 @@ class EngineCore {
   /// propagates (see the determinism contract above).
   void send_phase(const std::function<void(int, PlayerCharge&)>& fn);
 
-  /// Records bits landing at `receiver` (delivery is serial, player order).
+  /// Records bits landing at `receiver`. Must only be called from the
+  /// serial delivery loop (player order) — it writes stats directly, with
+  /// no per-player scratch, so it is not safe from send-phase workers.
   void charge_receive(int receiver, std::uint64_t bits) {
     stats_.per_player_recv_bits[static_cast<std::size_t>(receiver)] += bits;
   }

@@ -21,6 +21,11 @@
 // exactly; the protocol CC_CHECKs its measured rounds and bits against the
 // plan on every run.
 //
+// The decomposition itself is algebra-agnostic and lives in the shared
+// driver core/block_mm.h; this module instantiates it for the two rings
+// (GF(2), F_{2^61-1}), and core/apsp instantiates the same driver — and
+// the same plan shape below — for the tropical (min, +) semiring.
+//
 // On top of the product: exact triangle and 4-cycle counting over
 // F_{2^61-1} (linalg/mat61). One distributed product A² suffices for both —
 // trace(A³) = Σ_v ⟨row_v(A²), row_v(A)⟩ = 6·(#triangles) and
@@ -38,7 +43,10 @@
 
 namespace cclique {
 
-/// The data-independent cost schedule of one distributed product.
+/// The data-independent cost schedule of one distributed product — a pure
+/// function of (n, word_bits, bandwidth), shared by every semiring the
+/// block driver runs (the min-plus product of core/apsp reuses this struct
+/// verbatim at word_bits = 61).
 struct AlgebraicMmPlan {
   int n = 0;
   int grid = 0;        ///< m: block grid dimension; one triple of [m]^3 per player

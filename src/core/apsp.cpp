@@ -1,0 +1,198 @@
+#include "core/apsp.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "core/block_mm.h"
+#include "util/math_util.h"
+
+namespace cclique {
+
+namespace {
+
+/// Tropical-semiring adapters for the shared block-MM driver. Both kernels
+/// serialize elements as 61-bit words (kTropicalInf = all-ones round-trips
+/// through push_uint/read_uint unchanged) and pad blocks with
+/// TropicalMat(n)'s all-+inf fill — the semiring zero, so padding never
+/// changes a product entry.
+struct TropicalOpsBlocked {
+  using Matrix = TropicalMat;
+  static constexpr int kWordBits = 61;
+  static std::uint64_t get(const Matrix& m, int i, int j) { return m.get(i, j); }
+  static void set(Matrix& m, int i, int j, std::uint64_t v) { m.set(i, j, v); }
+  static void accumulate(Matrix& m, int i, int j, std::uint64_t v) { m.min_at(i, j, v); }
+  static Matrix multiply(const Matrix& a, const Matrix& b) {
+    return tropical_multiply_blocked(a, b);
+  }
+};
+
+struct TropicalOpsSchoolbook : TropicalOpsBlocked {
+  static Matrix multiply(const Matrix& a, const Matrix& b) {
+    return tropical_multiply_schoolbook(a, b);
+  }
+};
+
+/// Smallest s with 2^s >= x (x >= 1).
+int ceil_log2(std::uint64_t x) {
+  int s = 0;
+  while ((1ULL << s) < x) ++s;
+  return s;
+}
+
+}  // namespace
+
+ApspPlan apsp_plan(int n, int bandwidth) {
+  CC_REQUIRE(n >= 1, "need at least one player");
+  CC_REQUIRE(bandwidth >= 1, "bandwidth must be positive");
+  ApspPlan plan;
+  plan.n = n;
+  plan.squarings = n >= 2 ? ceil_log2(static_cast<std::uint64_t>(n) - 1) : 0;
+  plan.product = algebraic_mm_plan(n, /*word_bits=*/61, bandwidth);
+  // The eccentricity exchange ships one 61-bit value per ordered pair in
+  // ceil(61 / b) chunked rounds (nothing to exchange on a 1-clique).
+  plan.ecc_rounds =
+      n >= 2 ? static_cast<int>(ceil_div(61, static_cast<std::uint64_t>(bandwidth))) : 0;
+  plan.total_rounds = plan.squarings * plan.product.total_rounds + plan.ecc_rounds;
+  plan.total_bits =
+      static_cast<std::uint64_t>(plan.squarings) * plan.product.total_bits +
+      (n >= 2 ? static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n - 1) * 61u
+              : 0u);
+  plan.series_rounds =
+      plan.product.series_rounds * static_cast<double>(ceil_log2(static_cast<std::uint64_t>(n)));
+  return plan;
+}
+
+namespace {
+
+/// Product driver with the (expensive to recompute) plan passed in, so
+/// apsp_run prices the schedule once instead of once per squaring.
+MinPlusResult run_product(CliqueUnicast& net, const TropicalMat& a,
+                          const TropicalMat& b, TropicalMat* c,
+                          TropicalKernel kernel, const AlgebraicMmPlan& plan) {
+  if (kernel == TropicalKernel::kSchoolbook) {
+    return blockmm::run_block_mm<TropicalOpsSchoolbook, MinPlusResult>(net, a, b, c, plan);
+  }
+  return blockmm::run_block_mm<TropicalOpsBlocked, MinPlusResult>(net, a, b, c, plan);
+}
+
+}  // namespace
+
+MinPlusResult min_plus_mm(CliqueUnicast& net, const TropicalMat& a,
+                          const TropicalMat& b, TropicalMat* c,
+                          TropicalKernel kernel) {
+  const AlgebraicMmPlan plan = algebraic_mm_plan(a.n(), /*word_bits=*/61, net.bandwidth());
+  return run_product(net, a, b, c, kernel, plan);
+}
+
+ApspResult apsp_run(CliqueUnicast& net, const Graph& g,
+                    const std::vector<std::uint32_t>& weights,
+                    TropicalKernel kernel) {
+  const int n = g.num_vertices();
+  CC_REQUIRE(n >= 1, "need at least one vertex");
+  CC_REQUIRE(net.n() == n, "one player per vertex");
+
+  ApspResult out;
+  out.plan = apsp_plan(n, net.bandwidth());
+  const int rounds_before = net.stats().rounds;
+  const std::uint64_t bits_before = net.stats().total_bits;
+
+  // ---- Repeated squaring: D_0 = W (0 diagonal), D_{s+1} = D_s ⊗ D_s.
+  // D_s is the exact shortest-path distance over walks of <= 2^s edges, and
+  // simple shortest paths have <= n-1 edges, so ⌈log2(n-1)⌉ squarings reach
+  // the closure. Every squaring is one full distributed product of the
+  // globally-known geometry — weights only change entry *values*, never a
+  // payload length — which is what keeps the whole run on the planned
+  // data-independent schedule.
+  out.dist = TropicalMat::from_weighted_graph(g, weights);
+  out.products.reserve(static_cast<std::size_t>(out.plan.squarings));
+  for (int s = 0; s < out.plan.squarings; ++s) {
+    TropicalMat next;
+    out.products.push_back(
+        run_product(net, out.dist, out.dist, &next, kernel, out.plan.product));
+    out.dist = std::move(next);
+  }
+
+  // ---- Eccentricity spectrum: player v derives ecc[v] = max_u d(v, u)
+  // from its own distance row, then a one-shot 61-bit all-to-all exchange
+  // makes the spectrum (hence diameter and radius) common knowledge — the
+  // same closing shape as the counting protocols' partial-sum share.
+  out.eccentricity.assign(static_cast<std::size_t>(n), 0);
+  for (int v = 0; v < n; ++v) {
+    std::uint64_t e = 0;
+    for (int u = 0; u < n; ++u) e = std::max(e, out.dist.get(v, u));
+    out.eccentricity[static_cast<std::size_t>(v)] = e;
+  }
+  std::vector<std::vector<Message>> payload(
+      static_cast<std::size_t>(n), std::vector<Message>(static_cast<std::size_t>(n)));
+  for (int v = 0; v < n; ++v) {
+    for (int j = 0; j < n; ++j) {
+      if (j == v) continue;
+      payload[static_cast<std::size_t>(v)][static_cast<std::size_t>(j)].push_uint(
+          out.eccentricity[static_cast<std::size_t>(v)], 61);
+    }
+  }
+  std::vector<std::vector<Message>> recv;
+  out.ecc_rounds = unicast_payloads(net, payload, &recv);
+  if (n > 1) {
+    // Player 0's inbox must reproduce the spectrum (cheap representative of
+    // the clique-wide agreement, as in share_partials).
+    for (int v = 1; v < n; ++v) {
+      CC_CHECK(recv[0][static_cast<std::size_t>(v)].read_uint(0, 61) ==
+                   out.eccentricity[static_cast<std::size_t>(v)],
+               "eccentricity exchange corrupted a value");
+    }
+  }
+  out.diameter = *std::max_element(out.eccentricity.begin(), out.eccentricity.end());
+  out.radius = *std::min_element(out.eccentricity.begin(), out.eccentricity.end());
+
+  out.total_rounds = net.stats().rounds - rounds_before;
+  out.total_bits = net.stats().total_bits - bits_before;
+  CC_CHECK(out.ecc_rounds == out.plan.ecc_rounds,
+           "eccentricity exchange left the planned schedule");
+  CC_CHECK(out.total_rounds == out.plan.total_rounds,
+           "APSP rounds diverged from the planned schedule");
+  CC_CHECK(out.total_bits == out.plan.total_bits,
+           "APSP bits diverged from the planned schedule");
+  return out;
+}
+
+TropicalMat apsp_dijkstra_reference(const Graph& g,
+                                    const std::vector<std::uint32_t>& weights) {
+  const int n = g.num_vertices();
+  const std::vector<Edge> edges = g.edges();
+  CC_REQUIRE(weights.size() == edges.size(), "one weight per edge");
+  // Adjacency-indexed weight table (the core/mst convention): adj[v] lists
+  // (neighbor, weight) pairs.
+  std::vector<std::vector<std::pair<int, std::uint32_t>>> adj(
+      static_cast<std::size_t>(n));
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    adj[static_cast<std::size_t>(edges[e].u)].push_back({edges[e].v, weights[e]});
+    adj[static_cast<std::size_t>(edges[e].v)].push_back({edges[e].u, weights[e]});
+  }
+  TropicalMat dist(n);
+  using Item = std::pair<std::uint64_t, int>;  // (distance, vertex)
+  for (int s = 0; s < n; ++s) {
+    std::vector<std::uint64_t> d(static_cast<std::size_t>(n), kTropicalInf);
+    d[static_cast<std::size_t>(s)] = 0;
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+    pq.push({0, s});
+    while (!pq.empty()) {
+      const auto [du, u] = pq.top();
+      pq.pop();
+      if (du != d[static_cast<std::size_t>(u)]) continue;  // stale entry
+      for (const auto& [v, w] : adj[static_cast<std::size_t>(u)]) {
+        const std::uint64_t cand = du + w;  // < kInf: n * 2^32 distances can't saturate
+        if (cand < d[static_cast<std::size_t>(v)]) {
+          d[static_cast<std::size_t>(v)] = cand;
+          pq.push({cand, v});
+        }
+      }
+    }
+    for (int v = 0; v < n; ++v) dist.set(s, v, d[static_cast<std::size_t>(v)]);
+  }
+  return dist;
+}
+
+}  // namespace cclique

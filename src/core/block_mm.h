@@ -1,0 +1,319 @@
+// Shared [m]^3 block-decomposition machinery for distributed semiring
+// matrix products on CLIQUE-UCAST (internal to core/).
+//
+// PR 3 built the machinery for ring products (core/algebraic_mm): with
+// m = ⌊n^{1/3}⌋ and the index set [n] cut into m row intervals, C = A·B
+// splits into m³ block products C_ij ⊕= A_ik ⊗ B_kj, one triple per player,
+// shipped through the two-hop balanced relay (unicast_payloads_relayed).
+// Nothing in the decomposition, the relay schedule, or the plan accounting
+// depends on the *algebra* — only on (n, element width w, bandwidth b). This
+// header factors the geometry (BlockGrid), the data-independent length
+// matrices and relay cost replay, and the generic protocol driver
+// (run_block_mm) out of algebraic_mm.cpp so the min-plus/APSP workload
+// (core/apsp) runs the identical schedule over the tropical semiring.
+//
+// The Ops concept run_block_mm consumes:
+//
+//   struct Ops {
+//     using Matrix = ...;               // Matrix(int n) = the semiring-zero
+//                                       // matrix (additive identity entries:
+//                                       // 0 for rings, +inf for min-plus)
+//     static constexpr int kWordBits;   // serialized bits per element
+//     static std::uint64_t get(const Matrix&, int i, int j);   // < 2^kWordBits
+//     static void set(Matrix&, int i, int j, std::uint64_t v);
+//     static void accumulate(Matrix&, int i, int j, std::uint64_t v);  // ⊕=
+//     static Matrix multiply(const Matrix&, const Matrix&);    // local ⊗
+//   };
+//
+// Block padding relies on Matrix(n) being the semiring zero so padding rows
+// and columns contribute nothing to any block product.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "comm/clique_unicast.h"
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace cclique {
+namespace blockmm {
+
+/// The [m]^3 block grid: interval t covers rows [lo(t), hi(t)), triple
+/// (i, j, k) lives at player (i*m + j)*m + k. All of it is a function of n
+/// alone, so every player derives the same geometry.
+struct BlockGrid {
+  int n = 0;
+  int m = 0;
+  int bs = 0;
+
+  explicit BlockGrid(int n_in) : n(n_in) {
+    CC_REQUIRE(n >= 1, "need at least one player");
+    m = static_cast<int>(icbrt(static_cast<std::uint64_t>(n)));
+    if (m < 1) m = 1;
+    bs = static_cast<int>(ceil_div(static_cast<std::uint64_t>(n),
+                                   static_cast<std::uint64_t>(m)));
+    // (m-1)^2 < n guarantees every interval is non-empty (m <= n^{1/3}).
+    CC_CHECK((m - 1) * bs < n, "degenerate block interval");
+  }
+
+  int triples() const { return m * m * m; }
+  int lo(int t) const { return t * bs; }
+  int hi(int t) const { return std::min(n, (t + 1) * bs); }
+  int len(int t) const { return hi(t) - lo(t); }
+  int ti(int p) const { return p / (m * m); }
+  int tj(int p) const { return (p / m) % m; }
+  int tk(int p) const { return p % m; }
+};
+
+using LengthMatrix = std::vector<std::vector<std::size_t>>;
+
+/// Distribution-phase payload lengths in bits: row owner v ships its A-row
+/// slice over columns K_k to every triple (i, *, k) with v in I_i, and its
+/// B-row slice over columns J_j to every triple (*, j, k) with v in K_k
+/// (A part first, then B part — the decode order). Self-payloads are local.
+inline LengthMatrix distribute_lengths(const BlockGrid& g, int w) {
+  LengthMatrix len(static_cast<std::size_t>(g.n),
+                   std::vector<std::size_t>(static_cast<std::size_t>(g.n), 0));
+  for (int p = 0; p < g.triples(); ++p) {
+    const int i = g.ti(p), j = g.tj(p), k = g.tk(p);
+    for (int r = g.lo(i); r < g.hi(i); ++r) {
+      if (r == p) continue;
+      len[static_cast<std::size_t>(r)][static_cast<std::size_t>(p)] +=
+          static_cast<std::size_t>(g.len(k)) * static_cast<std::size_t>(w);
+    }
+    for (int r = g.lo(k); r < g.hi(k); ++r) {
+      if (r == p) continue;
+      len[static_cast<std::size_t>(r)][static_cast<std::size_t>(p)] +=
+          static_cast<std::size_t>(g.len(j)) * static_cast<std::size_t>(w);
+    }
+  }
+  return len;
+}
+
+/// Aggregation-phase payload lengths: triple (i, j, k) ships one partial
+/// row slice (|J_j| elements) to every output row owner r in I_i.
+inline LengthMatrix aggregate_lengths(const BlockGrid& g, int w) {
+  LengthMatrix len(static_cast<std::size_t>(g.n),
+                   std::vector<std::size_t>(static_cast<std::size_t>(g.n), 0));
+  for (int p = 0; p < g.triples(); ++p) {
+    const int i = g.ti(p), j = g.tj(p);
+    for (int r = g.lo(i); r < g.hi(i); ++r) {
+      if (r == p) continue;
+      len[static_cast<std::size_t>(p)][static_cast<std::size_t>(r)] =
+          static_cast<std::size_t>(g.len(j)) * static_cast<std::size_t>(w);
+    }
+  }
+  return len;
+}
+
+/// Cost of shipping a length matrix through unicast_payloads_relayed:
+/// replays the relay's chunk arithmetic (relay_chunk_lo) on lengths alone.
+struct RelayCost {
+  int rounds = 0;
+  std::uint64_t bits = 0;
+};
+
+inline RelayCost relay_cost(const LengthMatrix& len, int n, int bandwidth) {
+  const std::size_t b = static_cast<std::size_t>(bandwidth);
+  auto chunk = [n](std::size_t l, int c) {
+    return relay_chunk_lo(l, c + 1, n) - relay_chunk_lo(l, c, n);
+  };
+  RelayCost out;
+  std::size_t max1 = 0, max2 = 0;
+  // Hop 1: source v -> relay t carries chunk relay_chunk_index(v, p, t) of
+  // each of v's payloads.
+  for (int v = 0; v < n; ++v) {
+    for (int t = 0; t < n; ++t) {
+      if (t == v) continue;
+      std::size_t sum = 0;
+      for (int p = 0; p < n; ++p) {
+        if (p == v) continue;
+        sum += chunk(len[static_cast<std::size_t>(v)][static_cast<std::size_t>(p)],
+                     relay_chunk_index(v, p, t, n));
+      }
+      max1 = std::max(max1, sum);
+      out.bits += sum;
+    }
+  }
+  // Hop 2: relay t -> destination p carries the same chunks of p's payloads.
+  for (int t = 0; t < n; ++t) {
+    for (int p = 0; p < n; ++p) {
+      if (p == t) continue;
+      std::size_t sum = 0;
+      for (int v = 0; v < n; ++v) {
+        if (v == p) continue;
+        sum += chunk(len[static_cast<std::size_t>(v)][static_cast<std::size_t>(p)],
+                     relay_chunk_index(v, p, t, n));
+      }
+      max2 = std::max(max2, sum);
+      out.bits += sum;
+    }
+  }
+  out.rounds = static_cast<int>(ceil_div(max1, b) + ceil_div(max2, b));
+  return out;
+}
+
+/// One distributed semiring product C = A ⊗ B over the grid: distribution
+/// (row owners ship block slices to triple players through the relay), local
+/// block products, aggregation (partial rows back to the output row owners,
+/// ⊕-accumulated). `Plan` / `Result` are the caller's plan/result structs
+/// (AlgebraicMmPlan / AlgebraicMmResult for both current semirings); the
+/// measured schedule is CC_CHECKed against `plan` on every run.
+template <typename Ops, typename Result, typename Plan>
+Result run_block_mm(CliqueUnicast& net, const typename Ops::Matrix& a,
+                    const typename Ops::Matrix& b, typename Ops::Matrix* c,
+                    const Plan& plan) {
+  using Matrix = typename Ops::Matrix;
+  constexpr int w = Ops::kWordBits;
+  const int n = a.n();
+  CC_REQUIRE(net.n() == n, "one player per matrix row");
+  CC_REQUIRE(b.n() == n, "size mismatch");
+  CC_REQUIRE(c != nullptr, "output matrix required");
+  const BlockGrid g(n);
+
+  Result res;
+  res.plan = plan;
+  const int rounds_before = net.stats().rounds;
+  const std::uint64_t bits_before = net.stats().total_bits;
+
+  // ---- Distribution: row owners ship block slices to triple players.
+  std::vector<std::vector<Message>> payload(
+      static_cast<std::size_t>(n), std::vector<Message>(static_cast<std::size_t>(n)));
+  for (int p = 0; p < g.triples(); ++p) {
+    const int i = g.ti(p), j = g.tj(p), k = g.tk(p);
+    for (int r = g.lo(i); r < g.hi(i); ++r) {
+      if (r == p) continue;  // the triple player reads its own row directly
+      Message& msg = payload[static_cast<std::size_t>(r)][static_cast<std::size_t>(p)];
+      for (int col = g.lo(k); col < g.hi(k); ++col) msg.push_uint(Ops::get(a, r, col), w);
+    }
+    for (int r = g.lo(k); r < g.hi(k); ++r) {
+      if (r == p) continue;
+      Message& msg = payload[static_cast<std::size_t>(r)][static_cast<std::size_t>(p)];
+      for (int col = g.lo(j); col < g.hi(j); ++col) msg.push_uint(Ops::get(b, r, col), w);
+    }
+  }
+  std::vector<std::vector<Message>> recv;
+  res.distribute_rounds = unicast_payloads_relayed(net, payload, &recv);
+
+  // ---- Local block products (blocks padded to bs x bs with the semiring
+  // zero — Matrix(n)'s fill — so padding rows/columns contribute nothing).
+  std::vector<Matrix> partial;
+  partial.reserve(static_cast<std::size_t>(g.triples()));
+  for (int p = 0; p < g.triples(); ++p) {
+    const int i = g.ti(p), j = g.tj(p), k = g.tk(p);
+    Matrix ablk(g.bs), bblk(g.bs);
+    std::vector<std::size_t> cur(static_cast<std::size_t>(n), 0);
+    for (int r = g.lo(i); r < g.hi(i); ++r) {
+      for (int t = 0; t < g.len(k); ++t) {
+        std::uint64_t v;
+        if (r == p) {
+          v = Ops::get(a, r, g.lo(k) + t);
+        } else {
+          const Message& src = recv[static_cast<std::size_t>(p)][static_cast<std::size_t>(r)];
+          v = src.read_uint(cur[static_cast<std::size_t>(r)], w);
+          cur[static_cast<std::size_t>(r)] += static_cast<std::size_t>(w);
+        }
+        Ops::set(ablk, r - g.lo(i), t, v);
+      }
+    }
+    for (int r = g.lo(k); r < g.hi(k); ++r) {
+      for (int t = 0; t < g.len(j); ++t) {
+        std::uint64_t v;
+        if (r == p) {
+          v = Ops::get(b, r, g.lo(j) + t);
+        } else {
+          const Message& src = recv[static_cast<std::size_t>(p)][static_cast<std::size_t>(r)];
+          v = src.read_uint(cur[static_cast<std::size_t>(r)], w);
+          cur[static_cast<std::size_t>(r)] += static_cast<std::size_t>(w);
+        }
+        Ops::set(bblk, r - g.lo(k), t, v);
+      }
+    }
+    partial.push_back(Ops::multiply(ablk, bblk));
+  }
+
+  // ---- Aggregation: partial rows travel to the output row owners, who
+  // ⊕-combine the m contributions (one per k) for each of their m column
+  // blocks.
+  std::vector<std::vector<Message>> payload2(
+      static_cast<std::size_t>(n), std::vector<Message>(static_cast<std::size_t>(n)));
+  for (int p = 0; p < g.triples(); ++p) {
+    const int i = g.ti(p), j = g.tj(p);
+    for (int r = g.lo(i); r < g.hi(i); ++r) {
+      if (r == p) continue;
+      Message& msg = payload2[static_cast<std::size_t>(p)][static_cast<std::size_t>(r)];
+      for (int t = 0; t < g.len(j); ++t) {
+        msg.push_uint(Ops::get(partial[static_cast<std::size_t>(p)], r - g.lo(i), t), w);
+      }
+    }
+  }
+  std::vector<std::vector<Message>> recv2;
+  res.aggregate_rounds = unicast_payloads_relayed(net, payload2, &recv2);
+
+  *c = Matrix(n);
+  for (int p = 0; p < g.triples(); ++p) {
+    const int i = g.ti(p), j = g.tj(p);
+    for (int r = g.lo(i); r < g.hi(i); ++r) {
+      for (int t = 0; t < g.len(j); ++t) {
+        std::uint64_t v;
+        if (r == p) {
+          v = Ops::get(partial[static_cast<std::size_t>(p)], r - g.lo(i), t);
+        } else {
+          const Message& src = recv2[static_cast<std::size_t>(r)][static_cast<std::size_t>(p)];
+          v = src.read_uint(static_cast<std::size_t>(t) * static_cast<std::size_t>(w), w);
+        }
+        Ops::accumulate(*c, r, g.lo(j) + t, v);
+      }
+    }
+  }
+
+  res.total_rounds = net.stats().rounds - rounds_before;
+  res.total_bits = net.stats().total_bits - bits_before;
+  CC_CHECK(res.total_rounds == res.distribute_rounds + res.aggregate_rounds,
+           "round accounting out of sync");
+  CC_CHECK(res.total_rounds == res.plan.total_rounds,
+           "block MM rounds diverged from the planned schedule");
+  CC_CHECK(res.total_bits == res.plan.total_bits,
+           "block MM bits diverged from the planned schedule");
+  return res;
+}
+
+/// Fills the shared (n, w, b)-only schedule fields of a plan struct
+/// (AlgebraicMmPlan shape): grid geometry, per-phase relay rounds/bits, and
+/// the heaviest pre-relay per-player payload load.
+template <typename Plan>
+void fill_plan_schedule(Plan* plan, int n, int word_bits, int bandwidth) {
+  CC_REQUIRE(word_bits >= 1 && word_bits <= 64, "word width out of range");
+  CC_REQUIRE(bandwidth >= 1, "bandwidth must be positive");
+  const BlockGrid g(n);
+  plan->n = n;
+  plan->grid = g.m;
+  plan->block = g.bs;
+  plan->word_bits = word_bits;
+  plan->bandwidth = bandwidth;
+  const LengthMatrix dist = distribute_lengths(g, word_bits);
+  const LengthMatrix agg = aggregate_lengths(g, word_bits);
+  const RelayCost dc = relay_cost(dist, n, bandwidth);
+  const RelayCost ac = relay_cost(agg, n, bandwidth);
+  plan->distribute_rounds = dc.rounds;
+  plan->aggregate_rounds = ac.rounds;
+  plan->total_rounds = dc.rounds + ac.rounds;
+  plan->total_bits = dc.bits + ac.bits;
+  plan->max_player_send_bits = 0;
+  for (int v = 0; v < n; ++v) {
+    std::uint64_t send = 0;
+    for (int p = 0; p < n; ++p) {
+      send += dist[static_cast<std::size_t>(v)][static_cast<std::size_t>(p)] +
+              agg[static_cast<std::size_t>(v)][static_cast<std::size_t>(p)];
+    }
+    plan->max_player_send_bits = std::max(plan->max_player_send_bits, send);
+  }
+  const double cbrt_n = static_cast<double>(icbrt(static_cast<std::uint64_t>(n)));
+  plan->series_rounds = 6.0 * cbrt_n * static_cast<double>(word_bits) /
+                        static_cast<double>(bandwidth);
+}
+
+}  // namespace blockmm
+}  // namespace cclique

@@ -18,9 +18,13 @@
 namespace cclique {
 
 /// Dense n x n matrix over GF(2), rows packed into 64-bit words.
+/// All accessors CC_REQUIRE their indices in range; a default-constructed
+/// or F2Matrix(n) matrix is all-zero (the additive identity).
 class F2Matrix {
  public:
   F2Matrix() = default;
+
+  /// The n x n zero matrix. Preconditions: n >= 0 (CC_REQUIRE).
   explicit F2Matrix(int n);
 
   int n() const { return n_; }

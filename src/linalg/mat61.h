@@ -22,9 +22,14 @@
 namespace cclique {
 
 /// Dense n x n matrix over F_{2^61-1}, row-major, entries kept in [0, p).
+/// All accessors CC_REQUIRE their indices in range; a default-constructed
+/// or Mat61(n) matrix is all-zero — the ring's additive identity, which is
+/// what lets the distributed block protocol pad partial blocks freely.
 class Mat61 {
  public:
   Mat61() = default;
+
+  /// The n x n zero matrix. Preconditions: n >= 0 (CC_REQUIRE).
   explicit Mat61(int n);
 
   int n() const { return n_; }

@@ -70,6 +70,61 @@ TEST(RelayedPayloads, RejectsSelfPayloads) {
   EXPECT_THROW(unicast_payloads_relayed(net, payload, &got), PreconditionError);
 }
 
+TEST(RelayedPayloads, NonUniformWidthsRoundTrip) {
+  // Payload widths spread across the relay's regimes: zero-length (no
+  // chunks at all), sub-chunk (len < n, so most relays carry an empty
+  // chunk of this payload), exactly n bits (every chunk one bit), and
+  // multi-word streams — all mixed in one delivery, including the mixed
+  // remainder chunks the (src + dst) rotation exists to spread. Lengths
+  // are a pair-only function, as the globally-known-lengths contract
+  // requires.
+  const int n = 9;
+  std::vector<std::vector<Message>> payload(
+      static_cast<std::size_t>(n), std::vector<Message>(static_cast<std::size_t>(n)));
+  Rng rng(23);
+  for (int v = 0; v < n; ++v) {
+    for (int p = 0; p < n; ++p) {
+      if (p == v) continue;
+      // Widths 0, 3, 9 (== n), 70, 131, ... per (v, p) residue class.
+      const int widths[] = {0, 3, 9, 70, 131, 1};
+      const int bits = widths[(v * 2 + p) % 6] + ((v + p) % 2 == 0 ? 0 : v);
+      for (int t = 0; t < bits; ++t) {
+        payload[static_cast<std::size_t>(v)][static_cast<std::size_t>(p)].push_bit(
+            rng.coin());
+      }
+    }
+  }
+  CliqueUnicast net(n, 16);
+  std::vector<std::vector<Message>> got;
+  const int rounds = unicast_payloads_relayed(net, payload, &got);
+  EXPECT_EQ(net.stats().rounds, rounds);
+  for (int r = 0; r < n; ++r) {
+    for (int v = 0; v < n; ++v) {
+      if (v == r) continue;
+      EXPECT_EQ(got[static_cast<std::size_t>(r)][static_cast<std::size_t>(v)],
+                payload[static_cast<std::size_t>(v)][static_cast<std::size_t>(r)])
+          << "payload " << v << " -> " << r;
+    }
+  }
+}
+
+TEST(RelayedPayloads, TwoPlayerDegenerate) {
+  // n = 2: each player is the only possible relay for the other, and half
+  // of every payload stays local (the self-relay chunk). The smallest
+  // non-trivial instance of the chunk arithmetic must still round-trip.
+  const int n = 2;
+  std::vector<std::vector<Message>> payload(
+      static_cast<std::size_t>(n), std::vector<Message>(static_cast<std::size_t>(n)));
+  Rng rng(29);
+  for (int t = 0; t < 33; ++t) payload[0][1].push_bit(rng.coin());
+  for (int t = 0; t < 7; ++t) payload[1][0].push_bit(rng.coin());
+  CliqueUnicast net(n, 4);
+  std::vector<std::vector<Message>> got;
+  unicast_payloads_relayed(net, payload, &got);
+  EXPECT_EQ(got[1][0], payload[0][1]);
+  EXPECT_EQ(got[0][1], payload[1][0]);
+}
+
 class AlgebraicMmSizes : public ::testing::TestWithParam<int> {};
 
 // Sizes cover the degenerate one-triple grid (m=1), non-cubes with idle

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Docs-drift and markdown link checks (run by the CI `docs` job).
+
+Two checks, both offline:
+
+1. Bench-table drift: every `bench_e*` target registered in
+   bench/CMakeLists.txt (the CCLIQUE_BENCHES list) must be mentioned in
+   README.md — the "The 18 experiments" table is the canonical user-facing
+   index of the harnesses, and a bench that ships without a row there is
+   undocumented. The converse holds too: a bench named in the README that
+   no longer builds is a stale doc.
+
+2. Markdown links: every `[text](target)` in the top-level docs whose
+   target is a relative path must point at an existing file (anchors are
+   stripped; http(s)/mailto links are skipped — no network in CI).
+
+Exit status 0 when clean, 1 with one line per finding otherwise.
+Usage: python3 tools/check_docs.py  (from anywhere inside the repo)
+"""
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINK_CHECKED_DOCS = ["README.md", "DESIGN.md", "ROADMAP.md"]
+BENCH_TABLE_DOC = "README.md"
+
+
+def bench_targets():
+    """The bench_e* executables registered with the build."""
+    path = os.path.join(REPO, "bench", "CMakeLists.txt")
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    block = re.search(r"set\(CCLIQUE_BENCHES(.*?)\)", text, re.S)
+    if block is None:
+        return ["<error: CCLIQUE_BENCHES list not found in bench/CMakeLists.txt>"]
+    return re.findall(r"\bbench_e\w+", block.group(1))
+
+
+def check_bench_table():
+    problems = []
+    targets = bench_targets()
+    readme_path = os.path.join(REPO, BENCH_TABLE_DOC)
+    with open(readme_path, encoding="utf-8") as f:
+        readme = f.read()
+    # A mention only counts if it is a markdown table row (a line starting
+    # with '|') — prose references elsewhere must not satisfy the index.
+    table_rows = [line for line in readme.splitlines() if line.lstrip().startswith("|")]
+    for target in targets:
+        if not any(target in row for row in table_rows):
+            problems.append(
+                f"{BENCH_TABLE_DOC}: bench target `{target}` is built but has no "
+                "row in the bench table — add one (see 'The 18 experiments')"
+            )
+    # Converse: benches the README names that the build no longer has.
+    # Short prose references ("bench_e18") count as long as they prefix a
+    # registered target ("bench_e18_apsp").
+    for named in sorted(set(re.findall(r"\bbench_e\w+", readme))):
+        if not any(t == named or t.startswith(named + "_") for t in targets):
+            problems.append(
+                f"{BENCH_TABLE_DOC}: names `{named}`, which is not a registered "
+                "bench target — stale row?"
+            )
+    return problems
+
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_links():
+    problems = []
+    for doc in LINK_CHECKED_DOCS:
+        doc_path = os.path.join(REPO, doc)
+        if not os.path.exists(doc_path):
+            problems.append(f"{doc}: file missing (link check target list is stale)")
+            continue
+        with open(doc_path, encoding="utf-8") as f:
+            text = f.read()
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:  # pure in-page anchor
+                continue
+            resolved = os.path.normpath(os.path.join(os.path.dirname(doc_path), path))
+            if not os.path.exists(resolved):
+                problems.append(f"{doc}: broken link -> {target}")
+    return problems
+
+
+def main():
+    problems = check_bench_table() + check_links()
+    for p in problems:
+        print(f"docs-drift: {p}", file=sys.stderr)
+    if problems:
+        print(f"docs-drift: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print("docs-drift: bench table and markdown links are clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
