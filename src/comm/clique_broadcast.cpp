@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "analysis/locality_guard.h"
+
 namespace cclique {
 
 CliqueBroadcast::CliqueBroadcast(int n, int bandwidth) : core_(n, bandwidth) {}
@@ -10,6 +12,7 @@ const std::vector<Message>& CliqueBroadcast::round(const BcastFn& bcast) {
   const int nn = n();
   board_.assign(static_cast<std::size_t>(nn), Message{});
   core_.send_phase([&](int i, PlayerCharge& charge) {
+    locality::PlayerScope scope(i);
     Message msg = bcast(i);
     core_.charge_broadcast(i, msg.size_bits(), charge,
                            "per-player bandwidth exceeded in CLIQUE-BCAST");
@@ -27,6 +30,7 @@ const std::vector<Message>& CliqueBroadcast::round_fill(const FillFn& fill) {
   ensure_slots();
   const int nn = n();
   core_.send_phase([&](int i, PlayerCharge& charge) {
+    locality::PlayerScope scope(i);
     Message& slot = slots_[static_cast<std::size_t>(i)];
     slot.clear();
     fill(i, slot);

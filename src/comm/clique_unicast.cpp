@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "analysis/locality_guard.h"
+
 namespace cclique {
 
 CliqueUnicast::CliqueUnicast(int n, int bandwidth) : core_(n, bandwidth) {}
@@ -13,6 +15,7 @@ void CliqueUnicast::round(const SendFn& send, const RecvFn& recv) {
   const int nn = n();
   legacy_out_.resize(static_cast<std::size_t>(nn));
   core_.send_phase([&](int i, PlayerCharge& charge) {
+    locality::PlayerScope scope(i);
     std::vector<Message> box = send(i);
     CC_MODEL(static_cast<int>(box.size()) == nn,
              "outbox must have one slot per player");
@@ -41,6 +44,7 @@ void CliqueUnicast::round_fill(const FillFn& fill, const RecvFn& recv) {
   ensure_slots();
   const int nn = n();
   core_.send_phase([&](int i, PlayerCharge& charge) {
+    locality::PlayerScope scope(i);
     Message* box = &slots_[static_cast<std::size_t>(i) * static_cast<std::size_t>(nn)];
     for (int j = 0; j < nn; ++j) box[j].clear();
     fill(i, box);
@@ -66,6 +70,7 @@ void CliqueUnicast::round_fill(const FillFn& fill, const RecvFn& recv) {
       inbox_[static_cast<std::size_t>(j)] = Message::alias(msg);
     }
     core_.charge_receive(r, recv_bits);
+    locality::PlayerScope scope(r);
     recv(r, inbox_);
   }
 }
@@ -84,6 +89,7 @@ void CliqueUnicast::deliver(std::vector<std::vector<Message>>& out,
       recv_bits += inbox_[static_cast<std::size_t>(j)].size_bits();
     }
     core_.charge_receive(r, recv_bits);
+    locality::PlayerScope scope(r);
     recv(r, inbox_);
   }
 }

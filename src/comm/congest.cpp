@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "analysis/locality_guard.h"
+
 namespace cclique {
 
 CongestUnicast::CongestUnicast(const Graph& topology, int bandwidth)
@@ -25,6 +27,7 @@ void CongestUnicast::round(const SendFn& send, const RecvFn& recv) {
   const int nv = n();
   out_.resize(static_cast<std::size_t>(nv));
   core_.send_phase([&](int v, PlayerCharge& charge) {
+    locality::PlayerScope scope(v);
     const auto& nbrs = topology_.neighbors(v);
     std::vector<Message> box = send(v);
     CC_MODEL(box.size() == nbrs.size(),
@@ -48,6 +51,7 @@ void CongestUnicast::round(const SendFn& send, const RecvFn& recv) {
       recv_bits += inbox_[k].size_bits();
     }
     core_.charge_receive(v, recv_bits);
+    locality::PlayerScope scope(v);
     recv(v, inbox_);
   }
 }

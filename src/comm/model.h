@@ -7,10 +7,14 @@
 // and a bit mean, so measured round counts in benches are trustworthy.
 //
 // Locality discipline: a player's send callback must compute only from that
-// player's local state and previously delivered messages. C++ cannot enforce
-// this in-process; the protocol implementations in src/core and
-// src/lowerbound follow it by construction (per-player state structs), and
-// the tests include adversarial checks on the engine's accounting itself.
+// player's local state and previously delivered messages. The protocol
+// implementations in src/core and src/lowerbound follow it by construction
+// (per-player state structs), and the rule is mechanically enforced by the
+// runtime locality guard (analysis/locality_guard.h): every engine opens a
+// per-player scope around each callback, player-local state registers via
+// locality::PerPlayer, and a cross-player access throws ModelViolation in
+// CCLIQUE_LOCALITY=ON builds (zero cost otherwise). tools/check_locality.py
+// lints the same rules statically in CI.
 // Because send callbacks are local by contract, the transport core
 // (comm/engine.h) may run them concurrently (CC_THREADS); a callback that
 // touches shared mutable state breaks the discipline *and* the scheduler.

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "analysis/locality_guard.h"
 #include "comm/engine.h"
 #include "comm/model.h"
 #include "util/check.h"
@@ -48,8 +49,14 @@ NofDisjointnessInstance random_nof_intersecting(std::size_t m, double density,
 /// the transport core's PartyMeter (comm/engine.h).
 class NofBlackboard {
  public:
-  /// Player `who` (0, 1, 2) appends a message to the board.
-  void write(int who, const Message& m) { meter_.charge_message(who, m.size_bits()); }
+  /// Player `who` (0, 1, 2) appends a message to the board. If called from
+  /// inside a guarded player scope (a simulated-clique callback driving the
+  /// reduction), the write must be attributed to that same player — spending
+  /// another party's budget is a model violation.
+  void write(int who, const Message& m) {
+    locality::check_actor(who, "NOF blackboard write");
+    meter_.charge_message(who, m.size_bits());
+  }
 
   std::uint64_t total_bits() const { return meter_.total_bits(); }
   std::uint64_t bits_by(int who) const { return meter_.bits_by(who); }

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "analysis/locality_guard.h"
 #include "comm/engine.h"
 #include "comm/model.h"
 #include "util/check.h"
@@ -51,8 +52,14 @@ DisjointnessInstance random_intersecting_instance(std::size_t n, double density,
 /// core's PartyMeter (comm/engine.h).
 class TwoPartyChannel {
  public:
-  void send_from_alice(const Message& m) { meter_.charge_message(0, m.size_bits()); }
-  void send_from_bob(const Message& m) { meter_.charge_message(1, m.size_bits()); }
+  void send_from_alice(const Message& m) {
+    locality::check_actor(0, "two-party send from Alice");
+    meter_.charge_message(0, m.size_bits());
+  }
+  void send_from_bob(const Message& m) {
+    locality::check_actor(1, "two-party send from Bob");
+    meter_.charge_message(1, m.size_bits());
+  }
   /// Convenience for raw accounting when a reduction computes cost in bulk.
   void charge_alice(std::uint64_t bits) { meter_.charge(0, bits); }
   void charge_bob(std::uint64_t bits) { meter_.charge(1, bits); }

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "analysis/locality_guard.h"
 #include "core/block_mm.h"
 #include "util/math_util.h"
 
@@ -114,14 +115,15 @@ AlgebraicCountResult triangle_count_algebraic(CliqueUnicast& net, const Graph& g
 
   // Player v's local share of trace(A^3): (A^3)_vv = <row_v(A^2), row_v(A)>
   // (A is symmetric). True value < n^3 < p, so mod-p arithmetic is exact.
-  std::vector<std::uint64_t> diag(static_cast<std::size_t>(n), 0);
+  locality::PerPlayer<std::uint64_t> diag(
+      n, CC_LOCALITY_SITE("local trace(A^3) share"));
   for (int v = 0; v < n; ++v) {
     std::uint64_t acc = 0;
     for (int j : g.neighbors(v)) acc = Mersenne61::add(acc, a2.get(v, j));
-    diag[static_cast<std::size_t>(v)] = acc;
+    diag[v] = acc;
   }
   std::vector<std::uint64_t> totals;
-  out.share_rounds = share_partials(net, {diag}, &totals);
+  out.share_rounds = share_partials(net, {diag.raw()}, &totals);
   const std::uint64_t trace = totals[0];
   CC_CHECK(trace % 6 == 0, "trace(A^3) must be 6 * #triangles");
   out.count = trace / 6;
@@ -141,22 +143,25 @@ AlgebraicCountResult four_cycle_count_algebraic(CliqueUnicast& net, const Graph&
   // trace(A^4) = sum_v ||row_v(A^2)||^2 (A^2 is symmetric); each player also
   // contributes deg(v)^2 and deg(v) for the degenerate-walk correction
   //   #C4 = (trace(A^4) - 2*sum_v deg(v)^2 + 2|E|) / 8.
-  std::vector<std::uint64_t> walk(static_cast<std::size_t>(n), 0);
-  std::vector<std::uint64_t> deg2(static_cast<std::size_t>(n), 0);
-  std::vector<std::uint64_t> deg(static_cast<std::size_t>(n), 0);
+  locality::PerPlayer<std::uint64_t> walk(
+      n, CC_LOCALITY_SITE("local trace(A^4) share"));
+  locality::PerPlayer<std::uint64_t> deg2(
+      n, CC_LOCALITY_SITE("local squared-degree share"));
+  locality::PerPlayer<std::uint64_t> deg(
+      n, CC_LOCALITY_SITE("local degree share"));
   for (int v = 0; v < n; ++v) {
     std::uint64_t acc = 0;
     for (int j = 0; j < n; ++j) {
       const std::uint64_t e = a2.get(v, j);
       acc = Mersenne61::add(acc, Mersenne61::mul(e, e));
     }
-    walk[static_cast<std::size_t>(v)] = acc;
+    walk[v] = acc;
     const std::uint64_t d = static_cast<std::uint64_t>(g.degree(v));
-    deg2[static_cast<std::size_t>(v)] = Mersenne61::mul(d, d);
-    deg[static_cast<std::size_t>(v)] = d;
+    deg2[v] = Mersenne61::mul(d, d);
+    deg[v] = d;
   }
   std::vector<std::uint64_t> totals;
-  out.share_rounds = share_partials(net, {walk, deg2, deg}, &totals);
+  out.share_rounds = share_partials(net, {walk.raw(), deg2.raw(), deg.raw()}, &totals);
   const std::uint64_t trace4 = totals[0];  // < n^4 < p: exact
   const std::uint64_t sum_deg2 = totals[1];
   const std::uint64_t twice_edges = totals[2];  // sum of degrees = 2|E|

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/locality_guard.h"
 #include "core/block_mm.h"
 #include "util/math_util.h"
 
@@ -118,23 +119,26 @@ ApspResult apsp_run(CliqueUnicast& net, const Graph& g,
   // from its own distance row, then a one-shot 61-bit all-to-all exchange
   // makes the spectrum (hence diameter and radius) common knowledge — the
   // same closing shape as the counting protocols' partial-sum share.
-  out.eccentricity.assign(static_cast<std::size_t>(n), 0);
+  // Each value is player-private (ownership-tagged) until the exchange
+  // below hands it off into the common-knowledge result struct.
+  locality::PerPlayer<std::uint64_t> ecc(
+      n, CC_LOCALITY_SITE("per-player eccentricity"));
   for (int v = 0; v < n; ++v) {
     std::uint64_t e = 0;
     for (int u = 0; u < n; ++u) e = std::max(e, out.dist.get(v, u));
-    out.eccentricity[static_cast<std::size_t>(v)] = e;
+    ecc[v] = e;
   }
   std::vector<std::vector<Message>> payload(
       static_cast<std::size_t>(n), std::vector<Message>(static_cast<std::size_t>(n)));
   for (int v = 0; v < n; ++v) {
     for (int j = 0; j < n; ++j) {
       if (j == v) continue;
-      payload[static_cast<std::size_t>(v)][static_cast<std::size_t>(j)].push_uint(
-          out.eccentricity[static_cast<std::size_t>(v)], 61);
+      payload[static_cast<std::size_t>(v)][static_cast<std::size_t>(j)].push_uint(ecc[v], 61);
     }
   }
   std::vector<std::vector<Message>> recv;
   out.ecc_rounds = unicast_payloads(net, payload, &recv);
+  out.eccentricity = ecc.take();
   if (n > 1) {
     // Player 0's inbox must reproduce the spectrum (cheap representative of
     // the clique-wide agreement, as in share_partials).

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "analysis/locality_guard.h"
 #include "comm/clique_unicast.h"
 #include "util/check.h"
 #include "util/math_util.h"
@@ -199,8 +200,10 @@ Result run_block_mm(CliqueUnicast& net, const typename Ops::Matrix& a,
 
   // ---- Local block products (blocks padded to bs x bs with the semiring
   // zero — Matrix(n)'s fill — so padding rows/columns contribute nothing).
-  std::vector<Matrix> partial;
-  partial.reserve(static_cast<std::size_t>(g.triples()));
+  // Each triple player's block product is its private state until the
+  // aggregation hop ships the partial rows out (ownership-tagged).
+  locality::PerPlayer<Matrix> partial(
+      g.triples(), CC_LOCALITY_SITE("triple player's block product"));
   for (int p = 0; p < g.triples(); ++p) {
     const int i = g.ti(p), j = g.tj(p), k = g.tk(p);
     Matrix ablk(g.bs), bblk(g.bs);
@@ -231,7 +234,7 @@ Result run_block_mm(CliqueUnicast& net, const typename Ops::Matrix& a,
         Ops::set(bblk, r - g.lo(k), t, v);
       }
     }
-    partial.push_back(Ops::multiply(ablk, bblk));
+    partial[p] = Ops::multiply(ablk, bblk);
   }
 
   // ---- Aggregation: partial rows travel to the output row owners, who
@@ -245,7 +248,7 @@ Result run_block_mm(CliqueUnicast& net, const typename Ops::Matrix& a,
       if (r == p) continue;
       Message& msg = payload2[static_cast<std::size_t>(p)][static_cast<std::size_t>(r)];
       for (int t = 0; t < g.len(j); ++t) {
-        msg.push_uint(Ops::get(partial[static_cast<std::size_t>(p)], r - g.lo(i), t), w);
+        msg.push_uint(Ops::get(partial[p], r - g.lo(i), t), w);
       }
     }
   }
@@ -259,7 +262,7 @@ Result run_block_mm(CliqueUnicast& net, const typename Ops::Matrix& a,
       for (int t = 0; t < g.len(j); ++t) {
         std::uint64_t v;
         if (r == p) {
-          v = Ops::get(partial[static_cast<std::size_t>(p)], r - g.lo(i), t);
+          v = Ops::get(partial[p], r - g.lo(i), t);
         } else {
           const Message& src = recv2[static_cast<std::size_t>(r)][static_cast<std::size_t>(p)];
           v = src.read_uint(static_cast<std::size_t>(t) * static_cast<std::size_t>(w), w);

@@ -196,9 +196,10 @@ DlpResult dlp_triangle_detect_promised(CliqueUnicast& net, const Graph& g,
           return box;
         },
         [&](int receiver, const std::vector<Message>& inbox) {
+          if (receiver != 0) return;  // identical decode everywhere; model once
           for (int j = 0; j < n; ++j) {
-            if (j == receiver) {
-              announced[static_cast<std::size_t>(j)] = triple[static_cast<std::size_t>(j)];
+            if (j == 0) {
+              announced[0] = triple[0];
               continue;
             }
             const Message& m = inbox[static_cast<std::size_t>(j)];

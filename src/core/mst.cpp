@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "analysis/locality_guard.h"
 #include "routing/router.h"
 #include "util/math_util.h"
 
@@ -179,7 +180,10 @@ void MstEngine::run_boruvka_phase() {
   announce_round();
 
   // --- step 2: lightest outgoing edge per node -> fragment leader --------
-  std::vector<EdgeRecord> node_candidate(static_cast<std::size_t>(n));
+  // Per-node private state (ownership-tagged): a node's candidate is local
+  // knowledge until it is shipped to the leader.
+  locality::PerPlayer<EdgeRecord> node_candidate(
+      n, CC_LOCALITY_SITE("per-node candidate edge"));
   for (int v = 0; v < n; ++v) {
     EdgeRecord best;
     const auto& nb = g.neighbors(v);
@@ -191,14 +195,15 @@ void MstEngine::run_boruvka_phase() {
         best = EdgeRecord{true, v, u, w};
       }
     }
-    node_candidate[static_cast<std::size_t>(v)] = best;
+    node_candidate[v] = best;
   }
   // One message per node to its leader (leader = fragment root id).
-  std::vector<EdgeRecord> leader_best(static_cast<std::size_t>(n));
+  locality::PerPlayer<EdgeRecord> leader_best(
+      n, CC_LOCALITY_SITE("leader's fragment-best edge"));
   net.round(
       [&](int i) {
         std::vector<Message> box(static_cast<std::size_t>(n));
-        const EdgeRecord& c = node_candidate[static_cast<std::size_t>(i)];
+        const EdgeRecord& c = node_candidate[i];
         const int leader = frag[static_cast<std::size_t>(i)];
         if (c.valid && leader != i) {
           Message m;
@@ -208,9 +213,9 @@ void MstEngine::run_boruvka_phase() {
         return box;
       },
       [&](int leader, const std::vector<Message>& inbox) {
-        EdgeRecord& best = leader_best[static_cast<std::size_t>(leader)];
+        EdgeRecord& best = leader_best[leader];
         // Leader's own candidate participates.
-        const EdgeRecord& own = node_candidate[static_cast<std::size_t>(leader)];
+        const EdgeRecord& own = node_candidate[leader];
         if (own.valid && frag[static_cast<std::size_t>(leader)] == leader) best = own;
         for (int j = 0; j < n; ++j) {
           const Message& m = inbox[static_cast<std::size_t>(j)];
@@ -225,7 +230,7 @@ void MstEngine::run_boruvka_phase() {
   net.round(
       [&](int i) {
         std::vector<Message> box(static_cast<std::size_t>(n));
-        const EdgeRecord& c = leader_best[static_cast<std::size_t>(i)];
+        const EdgeRecord& c = leader_best[i];
         if (frag[static_cast<std::size_t>(i)] == i && c.valid) {
           Message m;
           m.push_uint(pack_record(c, addr), rec_bits);
@@ -246,8 +251,8 @@ void MstEngine::run_boruvka_phase() {
       });
   // Leaders' own announcements (self-knowledge).
   for (int r : live_roots) {
-    if (leader_best[static_cast<std::size_t>(r)].valid) {
-      announced[static_cast<std::size_t>(r)] = leader_best[static_cast<std::size_t>(r)];
+    if (leader_best[r].valid) {
+      announced[static_cast<std::size_t>(r)] = leader_best[r];
     }
   }
 
@@ -285,7 +290,8 @@ void MstEngine::run_lotker_phase(int submit_cap) {
   // <= F-1 records out per node, <= ceil(F/m)*m <= F+n in per aggregator.
   std::vector<int> stamp(static_cast<std::size_t>(n), -1);
   std::vector<EdgeRecord> best_to(static_cast<std::size_t>(n));
-  std::vector<std::vector<EdgeRecord>> agg_in(static_cast<std::size_t>(n));
+  locality::PerPlayer<std::vector<EdgeRecord>> agg_in(
+      n, CC_LOCALITY_SITE("aggregator's received records"));
   RoutingDemand a_demand;
   a_demand.payload_bits = rec_bits;
   std::vector<int> touched;
@@ -313,7 +319,7 @@ void MstEngine::run_lotker_phase(int submit_cap) {
       const int dest = mem[static_cast<std::size_t>(frag_index[static_cast<std::size_t>(x)]) %
                           mem.size()];
       if (dest == v) {
-        agg_in[static_cast<std::size_t>(v)].push_back(rec);
+        agg_in[v].push_back(rec);
       } else {
         a_demand.messages.push_back(RoutedMessage{v, dest, pack_record(rec, addr)});
       }
@@ -326,20 +332,21 @@ void MstEngine::run_lotker_phase(int submit_cap) {
       const EdgeRecord rec = unpack_record(payload, addr);
       CC_CHECK(frag[static_cast<std::size_t>(rec.u)] == frag[static_cast<std::size_t>(p)],
                "aggregated record must come from the aggregator's own fragment");
-      agg_in[static_cast<std::size_t>(p)].push_back(rec);
+      agg_in[p].push_back(rec);
     }
   }
 
   // --- stage B: aggregators reduce per target and forward to the leader --
-  std::vector<std::vector<EdgeRecord>> leader_in(static_cast<std::size_t>(n));
+  locality::PerPlayer<std::vector<EdgeRecord>> leader_in(
+      n, CC_LOCALITY_SITE("leader's received minima"));
   RoutingDemand b_demand;
   b_demand.payload_bits = rec_bits;
   std::fill(stamp.begin(), stamp.end(), -1);
   for (int p = 0; p < n; ++p) {
-    if (agg_in[static_cast<std::size_t>(p)].empty()) continue;
+    if (agg_in[p].empty()) continue;
     const int a = frag[static_cast<std::size_t>(p)];
     touched.clear();
-    for (const EdgeRecord& rec : agg_in[static_cast<std::size_t>(p)]) {
+    for (const EdgeRecord& rec : agg_in[p]) {
       const int x = frag[static_cast<std::size_t>(rec.v)];
       if (stamp[static_cast<std::size_t>(x)] != p) {
         stamp[static_cast<std::size_t>(x)] = p;
@@ -352,7 +359,7 @@ void MstEngine::run_lotker_phase(int submit_cap) {
     for (int x : touched) {
       const EdgeRecord& rec = best_to[static_cast<std::size_t>(x)];
       if (p == a) {
-        leader_in[static_cast<std::size_t>(a)].push_back(rec);
+        leader_in[a].push_back(rec);
       } else {
         b_demand.messages.push_back(RoutedMessage{p, a, pack_record(rec, addr)});
       }
@@ -365,19 +372,20 @@ void MstEngine::run_lotker_phase(int submit_cap) {
       const EdgeRecord rec = unpack_record(payload, addr);
       CC_CHECK(frag[static_cast<std::size_t>(rec.u)] == p,
                "fragment minima must arrive at the fragment's own leader");
-      leader_in[static_cast<std::size_t>(p)].push_back(rec);
+      leader_in[p].push_back(rec);
     }
   }
 
   // Leaders submit their k lightest per-target minima. Target slices are
   // disjoint across aggregators, so each target appears exactly once.
-  std::vector<std::vector<EdgeRecord>> submit(static_cast<std::size_t>(n));
+  locality::PerPlayer<std::vector<EdgeRecord>> submit(
+      n, CC_LOCALITY_SITE("leader's capped submission list"));
   for (int r : live_roots) {
-    auto& list = leader_in[static_cast<std::size_t>(r)];
+    auto& list = leader_in[r];
     std::sort(list.begin(), list.end(), record_less);
     const std::size_t take = std::min<std::size_t>(list.size(), static_cast<std::size_t>(k));
-    submit[static_cast<std::size_t>(r)].assign(list.begin(),
-                                               list.begin() + static_cast<std::ptrdiff_t>(take));
+    submit[r].assign(list.begin(),
+                     list.begin() + static_cast<std::ptrdiff_t>(take));
   }
 
   // --- stage C: submit counts -> everyone (1 round). The counts make the
@@ -389,7 +397,7 @@ void MstEngine::run_lotker_phase(int submit_cap) {
         std::vector<Message> box(static_cast<std::size_t>(n));
         if (frag_index[static_cast<std::size_t>(i)] >= 0) {
           Message m;
-          m.push_uint(submit[static_cast<std::size_t>(i)].size(), addr);
+          m.push_uint(submit[i].size(), addr);
           for (int j = 0; j < n; ++j) {
             if (j != i) box[static_cast<std::size_t>(j)] = m;
           }
@@ -400,7 +408,7 @@ void MstEngine::run_lotker_phase(int submit_cap) {
         if (receiver != 0) return;  // identical decode everywhere; model once
         for (int r : live_roots) {
           if (r == receiver) {
-            counts[static_cast<std::size_t>(r)] = submit[static_cast<std::size_t>(r)].size();
+            counts[static_cast<std::size_t>(r)] = submit[r].size();
             continue;
           }
           // Locality discipline: the count must arrive on the wire — a
@@ -425,14 +433,15 @@ void MstEngine::run_lotker_phase(int submit_cap) {
   // --- stage D: balanced scatter (record g -> player g; <= 1 per edge) ---
   std::vector<std::vector<Message>> scatter(
       static_cast<std::size_t>(n), std::vector<Message>(static_cast<std::size_t>(n)));
-  std::vector<std::vector<EdgeRecord>> held(static_cast<std::size_t>(n));
+  locality::PerPlayer<std::vector<EdgeRecord>> held(
+      n, CC_LOCALITY_SITE("scatter slot's held record"));
   for (int r : live_roots) {
-    const auto& list = submit[static_cast<std::size_t>(r)];
+    const auto& list = submit[r];
     for (std::size_t t = 0; t < list.size(); ++t) {
       const int dest = static_cast<int>((offset[static_cast<std::size_t>(r)] + t) %
                                         static_cast<std::uint64_t>(n));
       if (dest == r) {
-        held[static_cast<std::size_t>(r)].push_back(list[t]);
+        held[r].push_back(list[t]);
       } else {
         scatter[static_cast<std::size_t>(r)][static_cast<std::size_t>(dest)].push_uint(
             pack_record(list[t], addr), rec_bits);
@@ -446,12 +455,11 @@ void MstEngine::run_lotker_phase(int submit_cap) {
       const Message& stream = scatter_recv[static_cast<std::size_t>(p)][static_cast<std::size_t>(src)];
       BitReader reader(stream);
       while (reader.remaining() > 0) {
-        held[static_cast<std::size_t>(p)].push_back(
-            unpack_record(reader.read_uint(rec_bits), addr));
+        held[p].push_back(unpack_record(reader.read_uint(rec_bits), addr));
       }
     }
     const std::size_t expected = static_cast<std::uint64_t>(p) < total ? 1 : 0;
-    CC_CHECK(held[static_cast<std::size_t>(p)].size() == expected,
+    CC_CHECK(held[p].size() == expected,
              "balanced scatter must deliver exactly one record per slot");
   }
 
@@ -460,9 +468,9 @@ void MstEngine::run_lotker_phase(int submit_cap) {
   std::vector<std::vector<Message>> bcast(
       static_cast<std::size_t>(n), std::vector<Message>(static_cast<std::size_t>(n)));
   for (int p = 0; p < n; ++p) {
-    if (held[static_cast<std::size_t>(p)].empty()) continue;
+    if (held[p].empty()) continue;
     Message stream;
-    for (const EdgeRecord& rec : held[static_cast<std::size_t>(p)]) {
+    for (const EdgeRecord& rec : held[p]) {
       stream.push_uint(pack_record(rec, addr), rec_bits);
     }
     for (int q = 0; q < n; ++q) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/locality_guard.h"
 #include "routing/router.h"
 #include "util/math_util.h"
 
@@ -45,9 +46,15 @@ SortResult clique_sort(CliqueUnicast& net,
 
   // Phase 0: local sort (free — computation is not charged). Sorting plain
   // keys sorts the composites too: within one block the source is fixed
-  // and the local index ascends.
-  std::vector<std::vector<std::uint32_t>> local(inputs);
-  for (auto& block : local) std::sort(block.begin(), block.end());
+  // and the local index ascends. The blocks are player-private until phase
+  // 2 routes them, so they are ownership-tagged: a callback touching
+  // another player's block throws ModelViolation in CCLIQUE_LOCALITY builds.
+  locality::PerPlayer<std::vector<std::uint32_t>> local(
+      n, CC_LOCALITY_SITE("sorted local key blocks"));
+  for (int i = 0; i < n; ++i) {
+    local[i] = inputs[static_cast<std::size_t>(i)];
+    std::sort(local[i].begin(), local[i].end());
+  }
 
   // Phase 1a: regular samples — player i sends its (j+1)/(n+1) quantile
   // composite to player j (one cw-bit message per edge, 1 chunked exchange).
@@ -56,7 +63,8 @@ SortResult clique_sort(CliqueUnicast& net,
                       (static_cast<std::size_t>(n) + 1);
     return idx >= k ? k - 1 : idx;
   };
-  std::vector<std::vector<std::uint64_t>> column(static_cast<std::size_t>(n));
+  locality::PerPlayer<std::vector<std::uint64_t>> column(
+      n, CC_LOCALITY_SITE("received sample column"));
   net.round(
       [&](int i) {
         std::vector<Message> box(static_cast<std::size_t>(n));
@@ -64,8 +72,7 @@ SortResult clique_sort(CliqueUnicast& net,
           if (j == i) continue;
           const std::size_t idx = sample_index(j);
           Message m;
-          m.push_uint(
-              composite_key(local[static_cast<std::size_t>(i)][idx], i, idx, addr, kbits), cw);
+          m.push_uint(composite_key(local[i][idx], i, idx, addr, kbits), cw);
           box[static_cast<std::size_t>(j)] = std::move(m);
         }
         return box;
@@ -74,13 +81,13 @@ SortResult clique_sort(CliqueUnicast& net,
         for (int i = 0; i < n; ++i) {
           if (i == j) {
             const std::size_t idx = sample_index(j);
-            column[static_cast<std::size_t>(j)].push_back(
-                composite_key(local[static_cast<std::size_t>(j)][idx], j, idx, addr, kbits));
+            column[j].push_back(
+                composite_key(local[j][idx], j, idx, addr, kbits));
             continue;
           }
           const Message& m = inbox[static_cast<std::size_t>(i)];
           CC_CHECK(!m.empty(), "every player must deliver its regular sample");
-          column[static_cast<std::size_t>(j)].push_back(m.read_uint(0, cw));
+          column[j].push_back(m.read_uint(0, cw));
         }
       });
 
@@ -90,19 +97,20 @@ SortResult clique_sort(CliqueUnicast& net,
   // would pin every splitter to the same source coordinate and collapse
   // duplicate-heavy inputs back into one bucket; the proportional rank
   // spreads the splitters across the tie-break dimensions. All-gather them.
-  std::vector<std::uint64_t> my_splitter(static_cast<std::size_t>(n));
+  locality::PerPlayer<std::uint64_t> my_splitter(
+      n, CC_LOCALITY_SITE("private splitter candidate"));
   for (int j = 0; j < n; ++j) {
-    auto& col = column[static_cast<std::size_t>(j)];
+    auto& col = column[j];
     std::sort(col.begin(), col.end());
     const std::size_t rank = (static_cast<std::size_t>(j) + 1) * col.size() /
                              (static_cast<std::size_t>(n) + 1);
-    my_splitter[static_cast<std::size_t>(j)] = col[std::min(rank, col.size() - 1)];
+    my_splitter[j] = col[std::min(rank, col.size() - 1)];
   }
   std::vector<std::uint64_t> splitters(static_cast<std::size_t>(n));
   net.round(
       [&](int i) {
         Message m;
-        m.push_uint(my_splitter[static_cast<std::size_t>(i)], cw);
+        m.push_uint(my_splitter[i], cw);
         std::vector<Message> box(static_cast<std::size_t>(n));
         for (int j = 0; j < n; ++j) {
           if (j != i) box[static_cast<std::size_t>(j)] = m;
@@ -113,7 +121,7 @@ SortResult clique_sort(CliqueUnicast& net,
         if (receiver != 0) return;  // identical decode everywhere; model once
         for (int i = 0; i < n; ++i) {
           if (i == receiver) {
-            splitters[static_cast<std::size_t>(i)] = my_splitter[static_cast<std::size_t>(i)];
+            splitters[static_cast<std::size_t>(i)] = my_splitter[i];
             continue;
           }
           // Locality discipline: the splitter must arrive on the wire — a
@@ -134,8 +142,7 @@ SortResult clique_sort(CliqueUnicast& net,
   demand.payload_bits = cw;
   for (int i = 0; i < n; ++i) {
     for (std::size_t t = 0; t < k; ++t) {
-      const std::uint64_t ckey =
-          composite_key(local[static_cast<std::size_t>(i)][t], i, t, addr, kbits);
+      const std::uint64_t ckey = composite_key(local[i][t], i, t, addr, kbits);
       const int bucket = static_cast<int>(
           std::upper_bound(splitters.begin(), splitters.end(), ckey) -
           splitters.begin());
@@ -143,18 +150,17 @@ SortResult clique_sort(CliqueUnicast& net,
     }
   }
   RoutingResult bucketed = route_two_phase(net, demand);
-  std::vector<std::vector<std::uint64_t>> bucket_keys(static_cast<std::size_t>(n));
+  locality::PerPlayer<std::vector<std::uint64_t>> bucket_keys(
+      n, CC_LOCALITY_SITE("owned bucket keys"));
   SortResult result;
   result.bucket_loads.assign(static_cast<std::size_t>(n), 0);
   for (int j = 0; j < n; ++j) {
     for (const auto& [src, payload] : bucketed.delivered[static_cast<std::size_t>(j)]) {
       (void)src;
-      bucket_keys[static_cast<std::size_t>(j)].push_back(payload);
+      bucket_keys[j].push_back(payload);
     }
-    std::sort(bucket_keys[static_cast<std::size_t>(j)].begin(),
-              bucket_keys[static_cast<std::size_t>(j)].end());
-    result.bucket_loads[static_cast<std::size_t>(j)] =
-        bucket_keys[static_cast<std::size_t>(j)].size();
+    std::sort(bucket_keys[j].begin(), bucket_keys[j].end());
+    result.bucket_loads[static_cast<std::size_t>(j)] = bucket_keys[j].size();
   }
 
   // Phase 3: all-gather bucket counts; compute exact rank offsets; route
@@ -164,7 +170,7 @@ SortResult clique_sort(CliqueUnicast& net,
   net.round(
       [&](int i) {
         Message m;
-        m.push_uint(bucket_keys[static_cast<std::size_t>(i)].size(), count_bits);
+        m.push_uint(bucket_keys[i].size(), count_bits);
         std::vector<Message> box(static_cast<std::size_t>(n));
         for (int j = 0; j < n; ++j) {
           if (j != i) box[static_cast<std::size_t>(j)] = m;
@@ -175,8 +181,7 @@ SortResult clique_sort(CliqueUnicast& net,
         if (receiver != 0) return;
         for (int i = 0; i < n; ++i) {
           if (i == receiver) {
-            counts[static_cast<std::size_t>(i)] =
-                bucket_keys[static_cast<std::size_t>(i)].size();
+            counts[static_cast<std::size_t>(i)] = bucket_keys[i].size();
             continue;
           }
           CC_CHECK(!inbox[static_cast<std::size_t>(i)].empty(),
@@ -195,11 +200,11 @@ SortResult clique_sort(CliqueUnicast& net,
   RoutingDemand final_demand;
   final_demand.payload_bits = 32;
   for (int i = 0; i < n; ++i) {
-    for (std::size_t t = 0; t < bucket_keys[static_cast<std::size_t>(i)].size(); ++t) {
+    for (std::size_t t = 0; t < bucket_keys[i].size(); ++t) {
       const std::uint64_t rank = offset[static_cast<std::size_t>(i)] + t;
       final_demand.messages.push_back(RoutedMessage{
           i, static_cast<int>(rank / k),
-          composite_to_key(bucket_keys[static_cast<std::size_t>(i)][t], addr, kbits)});
+          composite_to_key(bucket_keys[i][t], addr, kbits)});
     }
   }
   RoutingResult placed = route_two_phase(net, final_demand);

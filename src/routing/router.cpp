@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "analysis/locality_guard.h"
 #include "util/math_util.h"
 
 namespace cclique {
@@ -50,13 +51,16 @@ RoutingResult run_relay_plan(CliqueUnicast& net, const RoutingDemand& demand,
   // Self-relay records (relay == source) skip the wire. Every relay holds
   // ~M/n of the demand; reserving that up front keeps the hold lists from
   // reallocating while the chunk rounds run.
-  std::vector<std::vector<RoutedMessage>> held(static_cast<std::size_t>(n));
-  for (auto& h : held) h.reserve(demand.messages.size() / static_cast<std::size_t>(n) + 1);
+  locality::PerPlayer<std::vector<RoutedMessage>> held(
+      n, CC_LOCALITY_SITE("relay's held records"));
+  for (int r = 0; r < n; ++r) {
+    held[r].reserve(demand.messages.size() / static_cast<std::size_t>(n) + 1);
+  }
   for (std::size_t k = 0; k < demand.messages.size(); ++k) {
     const auto& m = demand.messages[k];
     const int r = relay_of[k];
     if (r == m.source) {
-      held[static_cast<std::size_t>(r)].push_back(m);
+      held[r].push_back(m);
       continue;
     }
     Message& stream = p1[static_cast<std::size_t>(m.source)][static_cast<std::size_t>(r)];
@@ -75,7 +79,7 @@ RoutingResult run_relay_plan(CliqueUnicast& net, const RoutingDemand& demand,
         m.source = src;
         m.dest = static_cast<int>(reader.read_uint(addr));
         m.payload = reader.read_uint(w);
-        held[static_cast<std::size_t>(r)].push_back(m);
+        held[r].push_back(m);
       }
     }
   }
@@ -86,7 +90,7 @@ RoutingResult run_relay_plan(CliqueUnicast& net, const RoutingDemand& demand,
   RoutingResult result;
   result.delivered.assign(static_cast<std::size_t>(n), {});
   for (int r = 0; r < n; ++r) {
-    for (const auto& m : held[static_cast<std::size_t>(r)]) {
+    for (const auto& m : held[r]) {
       if (m.dest == r) {
         result.delivered[static_cast<std::size_t>(r)].emplace_back(m.source, m.payload);
         continue;

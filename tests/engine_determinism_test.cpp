@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "analysis/locality_guard.h"
 #include "comm/clique_broadcast.h"
 #include "comm/clique_unicast.h"
 #include "comm/congest.h"
@@ -186,6 +187,65 @@ TEST(EngineDeterminism, LowestPlayerExceptionWinsAtEveryThreadCount) {
     EXPECT_THROW(net.round(send, [](int, const std::vector<Message>&) {}),
                  PreconditionError)
         << "CC_THREADS=" << threads;
+  }
+}
+
+TEST(EngineDeterminism, LocalityViolationPropagatesAtEveryThreadCount) {
+  // A cross-player access tripped by the locality guard must behave exactly
+  // like every other worker-thread exception: it escapes the engine at any
+  // CC_THREADS setting, the violating round commits nothing, and the engine
+  // stays usable. In guard-off builds the same protocol runs untouched.
+  for (const char* threads : {"1", "2", "8"}) {
+    ScopedThreads scoped(threads);
+    const int n = 12;
+    CliqueUnicast net(n, 8);
+    locality::PerPlayer<std::uint64_t> secret(
+        n, CC_LOCALITY_SITE("thread-test secret"));
+    const auto leaky_send = [&](int i) {
+      std::vector<Message> box(static_cast<std::size_t>(n));
+      if (i == 7) box[0] = bits_of(secret[4], 3);  // 7 reads 4's state
+      return box;
+    };
+    const auto no_recv = [](int, const std::vector<Message>&) {};
+    if (locality::enabled()) {
+      EXPECT_THROW(net.round(leaky_send, no_recv), ModelViolation)
+          << "CC_THREADS=" << threads;
+      EXPECT_EQ(net.stats().rounds, 0) << "CC_THREADS=" << threads;
+      EXPECT_EQ(net.stats().total_bits, 0u) << "CC_THREADS=" << threads;
+    } else {
+      EXPECT_NO_THROW(net.round(leaky_send, no_recv));
+    }
+    net.round([&](int) { return std::vector<Message>(static_cast<std::size_t>(n)); },
+              no_recv);
+    EXPECT_GE(net.stats().rounds, 1) << "CC_THREADS=" << threads;
+  }
+}
+
+TEST(EngineDeterminism, LowestPlayerWinsForLocalityViolations) {
+  if (!locality::enabled()) GTEST_SKIP() << "guard compiled out";
+  // Two players violate the locality discipline in the same round; the
+  // scheduler's lowest-player-wins rule applies to guard exceptions exactly
+  // as it does to CC_* exceptions, so the surfaced message must name the
+  // lower violator at every thread count.
+  for (const char* threads : {"1", "2", "8"}) {
+    ScopedThreads scoped(threads);
+    const int n = 16;
+    CliqueUnicast net(n, 8);
+    locality::PerPlayer<std::uint64_t> secret(
+        n, CC_LOCALITY_SITE("contested secret"));
+    const auto send = [&](int i) {
+      std::vector<Message> box(static_cast<std::size_t>(n));
+      if (i == 3 || i == 11) box[0] = bits_of(secret[(i + 1) % n], 3);
+      return box;
+    };
+    try {
+      net.round(send, [](int, const std::vector<Message>&) {});
+      FAIL() << "seeded violations must throw (CC_THREADS=" << threads << ")";
+    } catch (const ModelViolation& e) {
+      EXPECT_NE(std::string(e.what()).find("player 3"), std::string::npos)
+          << "CC_THREADS=" << threads << ": " << e.what();
+    }
+    EXPECT_EQ(net.stats().rounds, 0) << "CC_THREADS=" << threads;
   }
 }
 

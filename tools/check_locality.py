@@ -1,0 +1,278 @@
+#!/usr/bin/env python3
+"""Static locality lint (run by the CI `locality-lint` job).
+
+The runtime locality guard (src/analysis/locality_guard.h) enforces the
+simulated-clique memory model dynamically; this script enforces the same
+rules statically, so a violation is caught even on paths no test executes.
+Three checks, all heuristic but tuned to this codebase's idiom:
+
+1. Tagged cross-player access: inside an engine callback lambda (an
+   argument of `.round(` / `.round_fill(` / `.send_phase(`), any index of a
+   `locality::PerPlayer` variable must be exactly the callback's player
+   parameter, or sit inside a branch guarded by `if (index == player)`.
+   Anything else is the PR-4 splitter bug shape: a callback reaching into
+   another player's registered state.
+
+2. Reference-captured cross-player write: inside a callback body, a write
+   (`=`, `+=`, `.push_back`, `.append`, `.push_uint`) through a
+   reference-captured array at a non-self player index mutates engine-wide
+   state from a (possibly concurrent) player callback — the PR-2 shared-RNG
+   bug shape. Bodies that open with the common-knowledge idiom
+   `if (player != 0) return;` ("identical decode everywhere; model once")
+   are orchestrator-style decoders and exempt from this check (but not from
+   check 1 — tagged state stays guarded even there).
+
+3. Unchecked plan: a file that binds the result of a `*_plan(...)` call
+   must CC_CHECK measured stats against the plan (text `plan` inside some
+   CC_CHECK) or delegate to the shared checked driver (`run_block_mm`).
+   A data-independent schedule that is never compared to the measured
+   rounds/bits is untested paper math.
+
+A finding can be suppressed with a `// locality-ok` comment on its line.
+
+Exit status 0 when clean, 1 with one line per finding otherwise.
+Usage:
+  python3 tools/check_locality.py              # scan src/
+  python3 tools/check_locality.py FILE...      # scan specific files
+  python3 tools/check_locality.py --self-test  # prove the planted fixture
+                                               # violations are caught
+"""
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+FIXTURE = os.path.join(REPO, "tools", "fixtures", "locality_violation_example.cpp")
+
+CAST_RE = re.compile(r"static_cast<[^<>]*>\s*\(([^()]*)\)")
+TAGGED_RE = re.compile(r"locality::PerPlayer<[\w:<>,\s]*>\s+(\w+)\s*\(")
+CALLBACK_CALL_RE = re.compile(r"\.(?:round|round_fill|send_phase)\s*\(")
+LAMBDA_RE = re.compile(r"\[&\]\s*\(\s*(?:const\s+)?int\s+(\w+)([^)]*)\)")
+ACCESS_RE = re.compile(r"\b(\w+)\[([^\][]+)\]")
+WRITE_TAIL_RE = re.compile(r"\s*(?:=[^=]|\+=|-=|\.push_back|\.append|\.push_uint)")
+MODEL_ONCE_RE = r"if\s*\(\s*{p}\s*!=\s*0\s*\)\s*return\s*;"
+# `run_*_plan(...)` names are executors (they *consume* a plan), not
+# planners; only pure `*_plan(...)` computations need a CC_CHECK.
+PLAN_CALL_RE = re.compile(r"(?:=|return)\s*(?!run_)\w+_plan\s*\(")
+CC_CHECK_PLAN_RE = re.compile(r"CC_CHECK\s*\([^;]*plan", re.S)
+
+
+def normalize(text):
+    """Strips static_cast<...>(x) wrappers (repeatedly, for nesting)."""
+    prev = None
+    while prev != text:
+        prev = text
+        text = CAST_RE.sub(r"\1", text)
+    return text
+
+
+def suppressed_lines(text):
+    return {
+        i + 1 for i, line in enumerate(text.splitlines()) if "locality-ok" in line
+    }
+
+
+def strip_comments(text):
+    """Blanks out // and /* */ comments, preserving newlines and offsets."""
+
+    def blank(m):
+        return re.sub(r"[^\n]", " ", m.group(0))
+
+    text = re.sub(r"/\*.*?\*/", blank, text, flags=re.S)
+    return re.sub(r"//[^\n]*", blank, text)
+
+
+def match_brace(text, open_pos):
+    """Index just past the brace/paren block opening at open_pos."""
+    open_ch = text[open_pos]
+    close_ch = {"{": "}", "(": ")"}[open_ch]
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == open_ch:
+            depth += 1
+        elif text[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def callback_bodies(text):
+    """Yields (param, all_params, body, body_offset) for engine-callback
+    lambdas: every `[&](int p, ...)` lambda inside the argument span of an
+    engine round call. `all_params` includes the out/inbox parameters so
+    accesses through them are never treated as captures."""
+    for call in CALLBACK_CALL_RE.finditer(text):
+        open_paren = call.end() - 1
+        span_end = match_brace(text, open_paren)
+        span = text[open_paren:span_end]
+        for lam in LAMBDA_RE.finditer(span):
+            params = {lam.group(1)}
+            params.update(re.findall(r"(\w+)\s*(?:,|$)", lam.group(2)))
+            brace = span.find("{", lam.end())
+            if brace < 0:
+                continue
+            body_end = match_brace(span, brace)
+            yield lam.group(1), params, span[brace:body_end], open_paren + brace
+
+
+def enclosing_if_conditions(body, pos):
+    """Conditions of the if-blocks whose braces enclose `pos` in `body`."""
+    conditions = []
+    for m in re.finditer(r"\bif\s*\(", body):
+        cond_end = match_brace(body, m.end() - 1)
+        brace = cond_end
+        while brace < len(body) and body[brace] in " \t\n":
+            brace += 1
+        if brace >= len(body) or body[brace] != "{":
+            continue
+        block_end = match_brace(body, brace)
+        if brace < pos < block_end:
+            conditions.append(body[m.end() : cond_end - 1])
+    return conditions
+
+
+def self_guarded(body, pos, param, index_expr):
+    idx = index_expr.strip()
+    if not re.fullmatch(r"\w+", idx):
+        return False
+    pat = re.compile(
+        r"\b{i}\s*==\s*{p}\b|\b{p}\s*==\s*{i}\b".format(
+            i=re.escape(idx), p=re.escape(param)
+        )
+    )
+    return any(pat.search(c) for c in enclosing_if_conditions(body, pos))
+
+
+def declared_in(body, name):
+    """True if `name` is declared inside the lambda body (a local)."""
+    return (
+        re.search(
+            r"[\w>&*]\s+\*?&?{n}\s*[=;({{\[]".format(n=re.escape(name)), body
+        )
+        is not None
+    )
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def scan_file(path):
+    problems = []
+    with open(path, encoding="utf-8") as f:
+        raw = f.read()
+    rel = os.path.relpath(path, REPO)
+    suppressed = suppressed_lines(raw)
+    text = normalize(strip_comments(raw))
+    tagged = set(TAGGED_RE.findall(text))
+
+    for param, params, body, body_off in callback_bodies(text):
+        model_once = re.search(MODEL_ONCE_RE.format(p=re.escape(param)), body)
+        for acc in ACCESS_RE.finditer(body):
+            name, idx = acc.group(1), acc.group(2).strip()
+            line = line_of(text, body_off + acc.start())
+            if line in suppressed:
+                continue
+            if idx == param:
+                continue
+            if self_guarded(body, acc.start(), param, idx):
+                continue
+            if name in tagged:
+                problems.append(
+                    f"{rel}:{line}: callback for player `{param}` indexes "
+                    f"tagged per-player state `{name}` with `{idx}` — "
+                    "cross-player access (check 1)"
+                )
+                continue
+            # Untagged: only writes through reference-captured arrays count,
+            # and model-once decoder bodies are exempt.
+            if model_once:
+                continue
+            if not WRITE_TAIL_RE.match(body[acc.end() :]):
+                continue
+            if name in params or declared_in(body, name):
+                continue
+            problems.append(
+                f"{rel}:{line}: callback for player `{param}` writes "
+                f"reference-captured array `{name}` at non-self index "
+                f"`{idx}` (check 2)"
+            )
+
+    if PLAN_CALL_RE.search(text):
+        if not CC_CHECK_PLAN_RE.search(text) and "run_block_mm" not in text:
+            problems.append(
+                f"{rel}: binds a *_plan(...) result but never CC_CHECKs "
+                "measured stats against the plan (check 3)"
+            )
+    return problems
+
+
+def source_files(root):
+    out = []
+    for dirpath, _, filenames in os.walk(root):
+        for fn in sorted(filenames):
+            if fn.endswith((".cpp", ".h")):
+                out.append(os.path.join(dirpath, fn))
+    return out
+
+
+def self_test():
+    problems = scan_file(FIXTURE)
+    for p in problems:
+        print(f"locality[self-test finding]: {p}")
+    missing = [
+        label
+        for label, needle in [
+            ("check 1 (tagged cross-player access)", "(check 1)"),
+            ("check 2 (reference-captured write)", "(check 2)"),
+            ("check 3 (unchecked plan)", "(check 3)"),
+        ]
+        if not any(needle in p for p in problems)
+    ]
+    if missing:
+        for m in missing:
+            print(
+                f"locality: self-test FAILED — fixture violation not caught: {m}",
+                file=sys.stderr,
+            )
+        return 1
+    clean = []
+    for path in source_files(SRC):
+        clean += scan_file(path)
+    if clean:
+        for p in clean:
+            print(f"locality: {p}", file=sys.stderr)
+        print("locality: self-test FAILED — src/ must scan clean", file=sys.stderr)
+        return 1
+    print(
+        f"locality: self-test passed — {len(problems)} planted finding(s) "
+        "caught, src/ clean"
+    )
+    return 0
+
+
+def main(argv):
+    if "--self-test" in argv:
+        return self_test()
+    files = [os.path.abspath(a) for a in argv if not a.startswith("-")]
+    if not files:
+        files = source_files(SRC)
+    problems = []
+    for path in files:
+        try:
+            problems += scan_file(path)
+        except OSError as e:
+            problems.append(f"{path}: unreadable ({e.strerror})")
+    for p in problems:
+        print(f"locality: {p}", file=sys.stderr)
+    if problems:
+        print(f"locality: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"locality: {len(files)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
