@@ -5,11 +5,16 @@
 // what bounds the reachable experiment scale.
 #include <benchmark/benchmark.h>
 
+#include "comm/clique_unicast.h"
+#include "core/apsp.h"
 #include "graph/degeneracy.h"
 #include "graph/generators.h"
 #include "graph/ruzsa_szemeredi.h"
 #include "graph/subgraph.h"
 #include "linalg/f2matrix.h"
+#include "linalg/kernels.h"
+#include "linalg/mat61.h"
+#include "linalg/tropical.h"
 #include "routing/router.h"
 #include "sketch/sketch.h"
 #include "util/rng.h"
@@ -110,6 +115,88 @@ void BM_SubgraphSearchC4(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SubgraphSearchC4)->Arg(64)->Arg(256);
+
+// ------------------------------------------------------------- kernel tier
+//
+// GB/s throughput of the local matrix kernels behind algebraic MM and APSP
+// (linalg/kernels) across the {scalar, avx2} x threads ablation grid. The
+// bytes metric is the B-stream traffic of the i-k-j loop — n^3 8-byte loads
+// of B per product, the dominant memory stream of every kernel variant —
+// so GB/s is comparable across kernels and sizes. AVX2 cells skip (not
+// fail) on hosts without AVX2; threaded cells are only meaningful on
+// multi-core hosts but stay correct (and deterministic) everywhere.
+
+void set_kernel_throughput(benchmark::State& state, int n) {
+  const std::int64_t n3 = static_cast<std::int64_t>(n) * n * n;
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n3 * 8);
+}
+
+bool skip_if_no_avx2(benchmark::State& state, KernelKind kind) {
+  if (kind == KernelKind::kAvx2 && !cpu_has_avx2()) {
+    state.SkipWithError("host lacks AVX2 (or build lacks the AVX2 TU)");
+    return true;
+  }
+  return false;
+}
+
+void BM_M61Kernel(benchmark::State& state, KernelKind kind, int threads) {
+  if (skip_if_no_avx2(state, kind)) return;
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(8);
+  const Mat61 a = Mat61::random(n, rng);
+  const Mat61 b = Mat61::random(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m61_multiply_kernel(a, b, kind, threads));
+  }
+  set_kernel_throughput(state, n);
+}
+BENCHMARK_CAPTURE(BM_M61Kernel, scalar_t1, KernelKind::kScalar, 1)
+    ->Arg(256)->Arg(512)->Arg(1024);
+BENCHMARK_CAPTURE(BM_M61Kernel, avx2_t1, KernelKind::kAvx2, 1)
+    ->Arg(256)->Arg(512)->Arg(1024);
+// Threaded cells measure real time: CPU-time GB/s would divide by one
+// worker's time while four workers burn cycles, overstating throughput.
+BENCHMARK_CAPTURE(BM_M61Kernel, avx2_t4, KernelKind::kAvx2, 4)
+    ->Arg(512)->UseRealTime();
+
+void BM_TropicalKernel(benchmark::State& state, KernelKind kind, int threads) {
+  if (skip_if_no_avx2(state, kind)) return;
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(9);
+  // Mixed density: 10% +inf exercises the inf-skip path the way one-step
+  // distance matrices do after a squaring or two.
+  const TropicalMat a = TropicalMat::random(n, rng, 1u << 30, 0.1);
+  const TropicalMat b = TropicalMat::random(n, rng, 1u << 30, 0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tropical_multiply_kernel(a, b, kind, threads));
+  }
+  set_kernel_throughput(state, n);
+}
+BENCHMARK_CAPTURE(BM_TropicalKernel, scalar_t1, KernelKind::kScalar, 1)
+    ->Arg(256)->Arg(512)->Arg(1024);
+BENCHMARK_CAPTURE(BM_TropicalKernel, avx2_t1, KernelKind::kAvx2, 1)
+    ->Arg(256)->Arg(512)->Arg(1024);
+BENCHMARK_CAPTURE(BM_TropicalKernel, avx2_t4, KernelKind::kAvx2, 4)
+    ->Arg(512)->UseRealTime();
+
+// End-to-end APSP wall clock through the full distributed protocol (plan,
+// relay schedule, squarings, eccentricity exchange) under the env-driven
+// dispatcher — the consumer-visible effect of the kernel tier.
+void BM_ApspEndToEnd(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(10);
+  const Graph g = gnp(n, 0.15, rng);
+  std::vector<std::uint32_t> weights;
+  weights.reserve(g.num_edges());
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    weights.push_back(static_cast<std::uint32_t>(rng.uniform(1000) + 1));
+  }
+  for (auto _ : state) {
+    CliqueUnicast net(n, 64);
+    benchmark::DoNotOptimize(apsp_run(net, g, weights, TropicalKernel::kBlocked));
+  }
+}
+BENCHMARK(BM_ApspEndToEnd)->Arg(32)->Arg(64);
 
 }  // namespace
 

@@ -2,13 +2,23 @@
 # Runs every experiment harness and collects the BENCH_<id>.json
 # trajectory files the ROADMAP tracks.
 #
-# Usage: bench/run_all.sh [BUILD_DIR] [OUT_DIR]
+# Usage: bench/run_all.sh [--micro] [BUILD_DIR] [OUT_DIR]
+#   --micro    also run the bench_micro kernel tier (google-benchmark) and
+#              emit BENCH_micro.json alongside the harness snapshots. Off by
+#              default: unlike the deterministic rounds/bits rows, micro
+#              rows are wall-clock and take minutes at the large sizes.
 #   BUILD_DIR  cmake binary dir containing bench/bench_e* (default: build)
 #   OUT_DIR    where BENCH_<id>.json and BENCH_<id>.log land (default: BUILD_DIR)
 #
 # Equivalent inside the build dir: ctest -L bench (the ctest entries pass
 # the same --json flags).
 set -euo pipefail
+
+run_micro=0
+if [[ ${1:-} == --micro ]]; then
+  run_micro=1
+  shift
+fi
 
 build_dir=${1:-build}
 out_dir=${2:-$build_dir}
@@ -31,5 +41,16 @@ for exe in "$build_dir"/bench/bench_e*; do
     status=1
   fi
 done
+
+if [[ $run_micro == 1 ]]; then
+  echo "== micro (kernel GB/s tier)"
+  if ! "$build_dir"/bench/bench_micro --benchmark_format=json \
+      --benchmark_out="$out_dir/BENCH_micro.json" \
+      > "$out_dir/BENCH_micro.log" 2>&1; then
+    echo "   FAILED (see $out_dir/BENCH_micro.log)" >&2
+    status=1
+  fi
+fi
+
 ls -1 "$out_dir"/BENCH_*.json
 exit $status

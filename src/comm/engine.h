@@ -65,7 +65,11 @@ class ThreadPool {
 /// Process-wide pool cache keyed by thread count: engines are created by
 /// the hundreds in bench sweeps, and spawning (and joining) a fresh set of
 /// workers per engine would dominate exactly the wall-clock the pool is
-/// meant to save. Pools persist for the process lifetime.
+/// meant to save. Pools persist for the process lifetime. The local-kernel
+/// dispatch layer (linalg/kernels) threads its row partitions over this
+/// same cache, so a CC_THREADS run never holds more than one worker set
+/// per distinct thread count — engine phases and local kernels run at
+/// disjoint times, never concurrently on one pool.
 std::shared_ptr<ThreadPool> shared_thread_pool(int threads);
 
 /// Per-player accounting scratch for one send phase. Filled by the owning

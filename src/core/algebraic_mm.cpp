@@ -4,6 +4,7 @@
 
 #include "analysis/locality_guard.h"
 #include "core/block_mm.h"
+#include "linalg/kernels.h"
 #include "util/math_util.h"
 
 namespace cclique {
@@ -34,7 +35,10 @@ struct M61Ops {
   static void set(Matrix& m, int i, int j, std::uint64_t v) { m.set(i, j, v); }
   static void accumulate(Matrix& m, int i, int j, std::uint64_t v) { m.add_at(i, j, v); }
   static Matrix multiply(const Matrix& a, const Matrix& b) {
-    return m61_multiply_blocked(a, b);
+    // Local compute between metered phases: the kernel/thread choice (the
+    // CC_KERNEL / CC_THREADS knobs) changes wall-clock only, never the
+    // product values or any CommStats counter.
+    return m61_multiply_dispatch(a, b);
   }
 };
 

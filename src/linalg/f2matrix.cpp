@@ -60,17 +60,22 @@ F2Matrix f2_multiply_naive(const F2Matrix& a, const F2Matrix& b) {
   CC_REQUIRE(a.n() == b.n(), "size mismatch");
   const int n = a.n();
   F2Matrix out(n);
-  // Row-times-matrix with word-level XOR accumulate: for each 1-bit a_ik,
-  // XOR row k of B into row i of the output.
+  // Row-times-matrix with word-level XOR accumulate: scan each packed word
+  // of row i of A, peel its 1-bits with ctz, and XOR the matching rows of B
+  // straight into row i of the output (out rows start zero and B rows keep
+  // their tail bits masked, so the invariant holds without a write-back
+  // pass — no per-bit get/set anywhere in the loop).
   for (int i = 0; i < n; ++i) {
-    std::vector<std::uint64_t> acc((static_cast<std::size_t>(n) + 63) / 64, 0);
-    for (int k = 0; k < n; ++k) {
-      if (!a.get(i, k)) continue;
-      const auto& bk = b.row(k);
-      for (std::size_t w = 0; w < acc.size(); ++w) acc[w] ^= bk[w];
-    }
-    for (int j = 0; j < n; ++j) {
-      out.set(i, j, (acc[static_cast<std::size_t>(j) >> 6] >> (static_cast<std::size_t>(j) & 63)) & 1ULL);
+    const auto& ai = a.row(i);
+    auto& acc = out.mutable_row(i);
+    for (std::size_t wk = 0; wk < ai.size(); ++wk) {
+      std::uint64_t bits = ai[wk];
+      while (bits != 0) {
+        const int k = static_cast<int>(wk * 64) + __builtin_ctzll(bits);
+        bits &= bits - 1;
+        const auto& bk = b.row(k);
+        for (std::size_t w = 0; w < acc.size(); ++w) acc[w] ^= bk[w];
+      }
     }
   }
   return out;
@@ -163,15 +168,18 @@ F2Matrix bool_multiply(const F2Matrix& a, const F2Matrix& b) {
   CC_REQUIRE(a.n() == b.n(), "size mismatch");
   const int n = a.n();
   F2Matrix out(n);
+  // Same ctz bit-peel as f2_multiply_naive with OR in place of XOR.
   for (int i = 0; i < n; ++i) {
-    std::vector<std::uint64_t> acc((static_cast<std::size_t>(n) + 63) / 64, 0);
-    for (int k = 0; k < n; ++k) {
-      if (!a.get(i, k)) continue;
-      const auto& bk = b.row(k);
-      for (std::size_t w = 0; w < acc.size(); ++w) acc[w] |= bk[w];
-    }
-    for (int j = 0; j < n; ++j) {
-      out.set(i, j, (acc[static_cast<std::size_t>(j) >> 6] >> (static_cast<std::size_t>(j) & 63)) & 1ULL);
+    const auto& ai = a.row(i);
+    auto& acc = out.mutable_row(i);
+    for (std::size_t wk = 0; wk < ai.size(); ++wk) {
+      std::uint64_t bits = ai[wk];
+      while (bits != 0) {
+        const int k = static_cast<int>(wk * 64) + __builtin_ctzll(bits);
+        bits &= bits - 1;
+        const auto& bk = b.row(k);
+        for (std::size_t w = 0; w < acc.size(); ++w) acc[w] |= bk[w];
+      }
     }
   }
   return out;

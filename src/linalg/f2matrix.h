@@ -64,6 +64,13 @@ class F2Matrix {
     return rows_[static_cast<std::size_t>(i)];
   }
 
+  /// Writable packed row i. Writers must keep the bits beyond column n-1
+  /// zero — operator== and the word-parallel kernels compare raw words.
+  std::vector<std::uint64_t>& mutable_row(int i) {
+    CC_REQUIRE(i >= 0 && i < n_, "row out of range");
+    return rows_[static_cast<std::size_t>(i)];
+  }
+
  private:
   void check(int i, int j) const {
     CC_REQUIRE(i >= 0 && i < n_ && j >= 0 && j < n_, "index out of range");

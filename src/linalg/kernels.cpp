@@ -1,0 +1,194 @@
+#include "linalg/kernels.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "comm/engine.h"
+#include "util/field.h"
+
+namespace cclique {
+
+const char* kernel_name(KernelKind k) {
+  return k == KernelKind::kAvx2 ? "avx2" : "scalar";
+}
+
+bool cpu_has_avx2() {
+#if defined(CCLIQUE_AVX2_TU) && defined(__GNUC__) && \
+    (defined(__x86_64__) || defined(__i386__))
+  static const bool has = __builtin_cpu_supports("avx2") != 0;
+  return has;
+#else
+  return false;
+#endif
+}
+
+KernelKind active_kernel() {
+  const char* env = std::getenv("CC_KERNEL");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "auto") == 0) {
+    return cpu_has_avx2() ? KernelKind::kAvx2 : KernelKind::kScalar;
+  }
+  if (std::strcmp(env, "avx2") == 0) {
+    if (cpu_has_avx2()) return KernelKind::kAvx2;
+    // Graceful fallback, once per process: the request is a preference, not
+    // a capability the host can be assumed to have.
+    static const bool warned = [] {
+      std::fprintf(stderr,
+                   "cclique: CC_KERNEL=avx2 requested but this CPU/build has "
+                   "no AVX2 — falling back to the scalar kernels\n");
+      return true;
+    }();
+    (void)warned;
+    return KernelKind::kScalar;
+  }
+  // "scalar" and anything unrecognized: fail safe to the portable kernels
+  // (the CC_THREADS fallback convention).
+  return KernelKind::kScalar;
+}
+
+// ------------------------------------------------------------ scalar kernels
+
+void m61_mm_rows_scalar(const std::uint64_t* a, const std::uint64_t* b,
+                        std::uint64_t* c, int n, int i0, int i1) {
+  // Panel depth: products of reduced elements are < 2^122, so 32 of them
+  // sum to < 2^127 — no 128-bit overflow before the per-panel fold.
+  constexpr int kPanel = 32;
+  std::vector<__uint128_t> acc(static_cast<std::size_t>(n));
+  for (int i = i0; i < i1; ++i) {
+    const std::uint64_t* arow = a + static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
+    for (auto& e : acc) e = 0;
+    for (int k0 = 0; k0 < n; k0 += kPanel) {
+      const int k1 = k0 + kPanel < n ? k0 + kPanel : n;
+      for (int k = k0; k < k1; ++k) {
+        const std::uint64_t aik = arow[k];
+        if (aik == 0) continue;  // adjacency inputs are sparse in practice
+        const std::uint64_t* brow = b + static_cast<std::size_t>(k) * static_cast<std::size_t>(n);
+        for (int j = 0; j < n; ++j) {
+          acc[static_cast<std::size_t>(j)] +=
+              static_cast<__uint128_t>(aik) * brow[j];
+        }
+      }
+      // Fold the panel so the next one starts from a < 2^61 residue.
+      for (int j = 0; j < n; ++j) {
+        acc[static_cast<std::size_t>(j)] =
+            Mersenne61::reduce128(acc[static_cast<std::size_t>(j)]);
+      }
+    }
+    std::uint64_t* crow = c + static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
+    for (int j = 0; j < n; ++j) {
+      crow[j] = static_cast<std::uint64_t>(acc[static_cast<std::size_t>(j)]);
+    }
+  }
+}
+
+void tropical_mm_rows_scalar(const std::uint64_t* a, const std::uint64_t* b,
+                             std::uint64_t* c, int n, int i0, int i1) {
+  for (int i = i0; i < i1; ++i) {
+    const std::uint64_t* arow = a + static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
+    std::uint64_t* crow = c + static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
+    for (int j = 0; j < n; ++j) crow[j] = kTropicalInf;
+    for (int k = 0; k < n; ++k) {
+      const std::uint64_t aik = arow[k];
+      if (aik == kTropicalInf) continue;  // whole lane is a no-op
+      const std::uint64_t* brow = b + static_cast<std::size_t>(k) * static_cast<std::size_t>(n);
+      for (int j = 0; j < n; ++j) {
+        // aik + brow[j] < 2^62 (both <= kInf), so the raw sum never wraps;
+        // a sum >= kInf can never undercut an accumulator <= kInf, which
+        // makes the plain comparison exactly the saturating min.
+        const std::uint64_t cand = aik + brow[j];
+        if (cand < crow[j]) crow[j] = cand;
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------- threaded dispatch
+
+namespace {
+
+using RowRangeFn = void (*)(const std::uint64_t*, const std::uint64_t*,
+                            std::uint64_t*, int, int, int);
+
+RowRangeFn m61_rows_fn(KernelKind kind) {
+  if (kind == KernelKind::kAvx2) {
+#ifdef CCLIQUE_AVX2_TU
+    CC_REQUIRE(cpu_has_avx2(), "AVX2 kernel requested on a non-AVX2 CPU");
+    return &m61_mm_rows_avx2;
+#else
+    throw PreconditionError("AVX2 kernel requested but this build has no AVX2 TU");
+#endif
+  }
+  return &m61_mm_rows_scalar;
+}
+
+RowRangeFn tropical_rows_fn(KernelKind kind) {
+  if (kind == KernelKind::kAvx2) {
+#ifdef CCLIQUE_AVX2_TU
+    CC_REQUIRE(cpu_has_avx2(), "AVX2 kernel requested on a non-AVX2 CPU");
+    return &tropical_mm_rows_avx2;
+#else
+    throw PreconditionError("AVX2 kernel requested but this build has no AVX2 TU");
+#endif
+  }
+  return &tropical_mm_rows_scalar;
+}
+
+/// Static row partition: worker t computes rows [n*t/T, n*(t+1)/T) — a pure
+/// function of (n, T), every row computed start-to-finish by one worker.
+void run_rows(RowRangeFn fn, const std::uint64_t* a, const std::uint64_t* b,
+              std::uint64_t* c, int n, int threads) {
+  CC_REQUIRE(threads >= 1, "kernel thread count must be >= 1");
+  if (threads > n) threads = n;
+  if (threads <= 1) {
+    fn(a, b, c, n, 0, n);
+    return;
+  }
+  shared_thread_pool(threads)->run_indexed(threads, [&](int t) {
+    const int i0 = static_cast<int>(static_cast<std::int64_t>(n) * t / threads);
+    const int i1 =
+        static_cast<int>(static_cast<std::int64_t>(n) * (t + 1) / threads);
+    if (i0 < i1) fn(a, b, c, n, i0, i1);
+  });
+}
+
+/// Below this dimension the pool handoff costs more than the product; the
+/// distributed protocols' per-player blocks (bs = ceil(n/m) rows) live here.
+constexpr int kThreadMinDim = 128;
+
+int dispatch_threads(int n) {
+  return n < kThreadMinDim ? 1 : cc_thread_count();
+}
+
+}  // namespace
+
+Mat61 m61_multiply_kernel(const Mat61& a, const Mat61& b, KernelKind kind,
+                          int threads) {
+  CC_REQUIRE(a.n() == b.n(), "size mismatch");
+  Mat61 out(a.n());
+  if (a.n() == 0) return out;
+  run_rows(m61_rows_fn(kind), a.data(), b.data(), out.mutable_data(), a.n(),
+           threads);
+  return out;
+}
+
+TropicalMat tropical_multiply_kernel(const TropicalMat& a, const TropicalMat& b,
+                                     KernelKind kind, int threads) {
+  CC_REQUIRE(a.n() == b.n(), "size mismatch");
+  TropicalMat out(a.n());
+  if (a.n() == 0) return out;
+  run_rows(tropical_rows_fn(kind), a.data(), b.data(), out.mutable_data(),
+           a.n(), threads);
+  return out;
+}
+
+Mat61 m61_multiply_dispatch(const Mat61& a, const Mat61& b) {
+  return m61_multiply_kernel(a, b, active_kernel(), dispatch_threads(a.n()));
+}
+
+TropicalMat tropical_multiply_dispatch(const TropicalMat& a, const TropicalMat& b) {
+  return tropical_multiply_kernel(a, b, active_kernel(), dispatch_threads(a.n()));
+}
+
+}  // namespace cclique

@@ -1,0 +1,120 @@
+// Runtime-dispatched local matrix kernels: scalar / AVX2, single- or
+// multi-threaded.
+//
+// The experiment harnesses meter protocols in rounds and bits, but the
+// reachable experiment *scale* is bounded by the simulator's local compute —
+// above all the two dense i-k-j panel kernels behind algebraic MM
+// (linalg/mat61) and APSP squaring (linalg/tropical). This module is the
+// raw-speed lever: vectorized (AVX2) variants of both kernels compiled in a
+// separate -mavx2 translation unit behind runtime CPUID detection, threaded
+// over the transport core's shared pool (comm/engine.h), with the scalar
+// kernels as the always-correct fallback.
+//
+// Determinism contract (DESIGN.md §2.6): kernel choice and thread count may
+// change wall-clock, never values and never CommStats.
+//
+//  * Values: both semirings are *exact* — F_{2^61-1} arithmetic is modular
+//    and the (min, +) fold is idempotent and order-insensitive — and every
+//    kernel performs the same mathematical reduction, so outputs are
+//    bit-identical across every {scalar, avx2} x CC_THREADS combination
+//    (asserted by tests/kernel_dispatch_test, not hoped). Threading uses
+//    deterministic static row partitioning: output rows are independent,
+//    each is computed start-to-finish by exactly one worker, and the
+//    partition is a pure function of (n, thread count).
+//  * CommStats: the kernels are local compute between metered phases; no
+//    code path here touches an engine, so the planned round/bit schedule
+//    (algebraic_mm_plan / apsp_plan) is kernel-independent by construction
+//    — the committed bench baselines reproduce byte-identically under every
+//    kernel knob setting.
+//
+// Selection: the CC_KERNEL environment variable, mirroring CC_THREADS.
+//   CC_KERNEL=auto    pick AVX2 when the CPU supports it (default)
+//   CC_KERNEL=scalar  force the portable scalar kernels
+//   CC_KERNEL=avx2    request AVX2; falls back to scalar (with one stderr
+//                     notice) when the CPU or build lacks it — never crashes
+// Unrecognized values fail safe to scalar, like CC_THREADS's fallback.
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/mat61.h"
+#include "linalg/tropical.h"
+
+namespace cclique {
+
+/// The local-kernel implementations the dispatcher can select.
+enum class KernelKind {
+  kScalar,  ///< portable panel kernels (mat61.cpp / tropical.cpp logic)
+  kAvx2,    ///< 4-lane AVX2 variants (kernels_avx2.cpp, -mavx2 TU)
+};
+
+/// Human-readable kernel name ("scalar" / "avx2") for logs and benches.
+const char* kernel_name(KernelKind k);
+
+/// True iff the running CPU supports AVX2 *and* this build compiled the
+/// AVX2 translation unit (probed once, cached).
+bool cpu_has_avx2();
+
+/// Resolves CC_KERNEL against cpu_has_avx2() to the kernel every dispatch
+/// call below will run. Reads the environment on every call so tests can
+/// flip the knob at runtime (the resolution itself is trivially cheap).
+KernelKind active_kernel();
+
+// ---------------------------------------------------------------------------
+// Raw row-range kernels. All operate on row-major n x n storage
+// (Mat61::data() / TropicalMat::data() layout) and compute output rows
+// [i0, i1) — the unit of the static thread partition. c must not alias a or
+// b. The _avx2 variants exist in every build that compiled the AVX2 TU and
+// must only be *called* when cpu_has_avx2() is true.
+
+/// Mat61 lazy-reduction panel kernel (scalar): i-k-j order, k in panels of
+/// 32 with 128-bit accumulation, one reduce128 per output per panel.
+/// Entries of a and b must be reduced into [0, p); c entries end reduced.
+void m61_mm_rows_scalar(const std::uint64_t* a, const std::uint64_t* b,
+                        std::uint64_t* c, int n, int i0, int i1);
+
+/// Mat61 AVX2 kernel: 4-wide 64x64->128 multiplies via _mm256_mul_epu32
+/// limb decomposition (lo32 x hi29 cross products folded through
+/// 2^61 = 1 mod p), depth-6 panels, one vectorized fold per panel.
+void m61_mm_rows_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                      std::uint64_t* c, int n, int i0, int i1);
+
+/// Tropical row-streaming kernel (scalar): i-k-j order with +inf-lane
+/// skipping; raw sums never wrap and saturated candidates never win (see
+/// linalg/tropical.h). Entries must be <= kTropicalInf; so are outputs.
+void tropical_mm_rows_scalar(const std::uint64_t* a, const std::uint64_t* b,
+                             std::uint64_t* c, int n, int i0, int i1);
+
+/// Tropical AVX2 kernel: 4-wide saturating min-plus. Candidates stay below
+/// 2^62, so signed 64-bit lane compares implement the unsigned min exactly,
+/// and +inf B-lanes mask themselves (a candidate >= kTropicalInf can never
+/// undercut an accumulator <= kTropicalInf).
+void tropical_mm_rows_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                           std::uint64_t* c, int n, int i0, int i1);
+
+// ---------------------------------------------------------------------------
+// Whole-product entry points.
+
+/// C = A * B over F_{2^61-1} with an explicit kernel and thread count — the
+/// ablation grid the benches and kernel_dispatch_test drive directly.
+/// Preconditions: a.n() == b.n(), threads >= 1, and kind == kAvx2 only when
+/// cpu_has_avx2() (CC_REQUIRE). Output is bit-identical for every valid
+/// (kind, threads) pair.
+Mat61 m61_multiply_kernel(const Mat61& a, const Mat61& b, KernelKind kind,
+                          int threads);
+
+/// C = A (min,+) B with an explicit kernel and thread count; same contract.
+TropicalMat tropical_multiply_kernel(const TropicalMat& a, const TropicalMat& b,
+                                     KernelKind kind, int threads);
+
+/// Env-driven dispatch: active_kernel() x cc_thread_count(), with small
+/// products kept single-threaded (pool handoff costs more than the work;
+/// the cutoff is a pure function of n, and outputs are row-independent, so
+/// determinism is unaffected). This is the local kernel of
+/// core/algebraic_mm and core/apsp.
+Mat61 m61_multiply_dispatch(const Mat61& a, const Mat61& b);
+
+/// Env-driven tropical dispatch; see m61_multiply_dispatch.
+TropicalMat tropical_multiply_dispatch(const TropicalMat& a, const TropicalMat& b);
+
+}  // namespace cclique

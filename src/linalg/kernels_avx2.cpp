@@ -1,0 +1,334 @@
+// AVX2 variants of the Mat61 and tropical panel kernels.
+//
+// This translation unit is the only one compiled with -mavx2 (see
+// linalg/CMakeLists.txt); everything here must stay behind the runtime
+// cpu_has_avx2() gate in kernels.cpp — the functions are *present* in every
+// AVX2-capable build but only *executed* on AVX2 hosts.
+//
+// Both kernels keep the scalar kernels' i-k-j streaming order — whole rows
+// of B walked sequentially, accumulators resident in L1 — vectorized 4
+// lanes wide over j, and add one structural improvement the scalar kernels
+// deliberately omit: k-blocking. The k range is cut into blocks sized so a
+// block of B rows fits comfortably in L2; each block is applied to every
+// output row of this range before the next block is touched, so B travels
+// from L3/DRAM once per product instead of once per output row. (A
+// register-tiled j-outer structure was tried first and lost to the scalar
+// kernel at n >= 512: it re-walks B once per column tile at an n-word
+// stride, defeating both the prefetcher and the TLB.)
+//
+// k-blocking commutes with both semirings exactly: the Mat61 kernel commits
+// one canonically-reduced partial sum per block into C with modular
+// addition, and the tropical kernel's min-fold is idempotent and
+// order-insensitive — so outputs stay bit-identical to the scalar kernels'
+// (block boundaries are a pure function of n; see DESIGN.md §2.6 and
+// tests/kernel_dispatch_test.cpp).
+#include "linalg/kernels.h"
+
+#ifdef CCLIQUE_AVX2_TU
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "util/field.h"
+
+namespace cclique {
+
+namespace {
+
+/// k-block size: blocks of B rows capped near 768 KiB so a block stays
+/// L2-resident while it is swept over every output row. Pure function of n
+/// (never of the thread count) — a determinism-contract requirement.
+int kernel_k_block(int n) {
+  const int rows = static_cast<int>(768 * 1024 / (8 * static_cast<std::size_t>(n) + 1));
+  return std::max(24, std::min(n, rows));
+}
+
+// ----------------------------------------------------------------- Mat61
+//
+// A 64x64->128 product of reduced elements a, b < 2^61 decomposes over
+// 32-bit limbs (a = aL + 2^32 aH with aL < 2^32, aH < 2^29):
+//
+//   a*b = aL*bL + 2^32*(aL*bH + aH*bL) + 2^64*(aH*bH)
+//
+// and folds through the Mersenne congruence 2^61 = 1 (mod p) into three
+// addends that each fit a 64-bit lane:
+//
+//   ll'  = (ll & m61) + (ll >> 61)                    <= 2^61 + 6
+//   mid' = ((mid & m29) << 32) + (mid >> 29)          <  2^61 + 2^33
+//          (mid = aL*bH + aH*bL < 2^62; 2^32 * 2^29 = 2^61 = 1 mod p)
+//   hh'  = hh << 3                                    <  2^61 (2^64 = 8 mod p)
+//
+// Each addend stream gets its own accumulator array. A folded accumulator
+// is <= 2^61 + 7 and each k-step adds < 2^61 + 2^33, so up to 6 steps
+// between folds stay under 7*(2^61 + 2^33) < 2^64. The kernel fuses 4
+// k-steps per pass over the accumulators (one load/store per stream per 4
+// candidate rows instead of per row) and folds once per pass — the AVX2
+// analogue of the scalar kernel's one reduce128 per 32-deep panel.
+
+inline __m256i m61_fold(__m256i acc, __m256i m61) {
+  return _mm256_add_epi64(_mm256_and_si256(acc, m61),
+                          _mm256_srli_epi64(acc, 61));
+}
+
+/// Scalar fallback for the < 4 trailing columns: the scalar kernel's exact
+/// per-column arithmetic (32-deep 128-bit panels, one reduce128 per panel).
+void m61_cols_tail(const std::uint64_t* arow, const std::uint64_t* b,
+                   std::uint64_t* crow, int n, int j0) {
+  constexpr int kPanel = 32;
+  for (int j = j0; j < n; ++j) {
+    __uint128_t acc = 0;
+    for (int k0 = 0; k0 < n; k0 += kPanel) {
+      const int k1 = std::min(n, k0 + kPanel);
+      for (int k = k0; k < k1; ++k) {
+        const std::uint64_t aik = arow[k];
+        if (aik == 0) continue;
+        acc += static_cast<__uint128_t>(aik) *
+               b[static_cast<std::size_t>(k) * static_cast<std::size_t>(n) + j];
+      }
+      acc = Mersenne61::reduce128(acc);
+    }
+    crow[j] = static_cast<std::uint64_t>(acc);
+  }
+}
+
+/// One pass of R fused k-steps over the accumulator arrays: each stream is
+/// loaded once, takes R fold-accumulate steps (R <= 6 keeps the running
+/// total under 2^64 — see the overflow note above), is folded once, and
+/// stored back. R is a compile-time constant so the lane loop unrolls.
+template <int R>
+void m61_pass(const std::uint64_t* const* bp, const std::uint64_t* av, int nv,
+              __m256i* acc_ll, __m256i* acc_mid, __m256i* acc_hh) {
+  static_assert(R >= 1 && R <= 6, "pass depth bounded by the fold budget");
+  const __m256i m32 = _mm256_set1_epi64x(0xffffffffLL);
+  const __m256i m29 = _mm256_set1_epi64x((1LL << 29) - 1);
+  const __m256i m61 = _mm256_set1_epi64x((1LL << 61) - 1);
+  __m256i aL[R], aH[R];
+  for (int l = 0; l < R; ++l) {
+    aL[l] = _mm256_set1_epi64x(static_cast<long long>(av[l] & 0xffffffffULL));
+    aH[l] = _mm256_set1_epi64x(static_cast<long long>(av[l] >> 32));
+  }
+  for (int v = 0; v < nv; ++v) {
+    __m256i sll = acc_ll[v];
+    __m256i smid = acc_mid[v];
+    __m256i shh = acc_hh[v];
+    for (int l = 0; l < R; ++l) {
+      const __m256i bvec =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp[l] + 4 * v));
+      const __m256i bL = _mm256_and_si256(bvec, m32);
+      const __m256i bH = _mm256_srli_epi64(bvec, 32);
+      const __m256i ll = _mm256_mul_epu32(bL, aL[l]);
+      const __m256i mid = _mm256_add_epi64(_mm256_mul_epu32(bH, aL[l]),
+                                           _mm256_mul_epu32(bL, aH[l]));
+      const __m256i hh = _mm256_mul_epu32(bH, aH[l]);
+      sll = _mm256_add_epi64(sll,
+                             _mm256_add_epi64(_mm256_and_si256(ll, m61),
+                                              _mm256_srli_epi64(ll, 61)));
+      smid = _mm256_add_epi64(
+          smid,
+          _mm256_add_epi64(_mm256_slli_epi64(_mm256_and_si256(mid, m29), 32),
+                           _mm256_srli_epi64(mid, 29)));
+      shh = _mm256_add_epi64(shh, _mm256_slli_epi64(hh, 3));
+    }
+    acc_ll[v] = m61_fold(sll, m61);
+    acc_mid[v] = m61_fold(smid, m61);
+    acc_hh[v] = m61_fold(shh, m61);
+  }
+}
+
+/// One k-block's contribution to output row i, accumulated (mod p) into the
+/// vectorized column prefix crow[0, 4*nv). acc_* is caller scratch (nv
+/// vectors per stream); brows/avals is caller scratch for the gathered
+/// non-zero lanes of the block.
+void m61_row_block(const std::uint64_t* arow, const std::uint64_t* b,
+                   std::uint64_t* crow, int n, int nv, int kb0, int kb1,
+                   __m256i* acc_ll, __m256i* acc_mid, __m256i* acc_hh,
+                   const std::uint64_t** brows, std::uint64_t* avals) {
+  const __m256i zero = _mm256_setzero_si256();
+  for (int v = 0; v < nv; ++v) {
+    acc_ll[v] = zero;
+    acc_mid[v] = zero;
+    acc_hh[v] = zero;
+  }
+  int cnt = 0;
+  for (int k = kb0; k < kb1; ++k) {
+    const std::uint64_t aik = arow[k];
+    if (aik == 0) continue;  // same sparse skip as the scalar kernel
+    brows[cnt] = b + static_cast<std::size_t>(k) * static_cast<std::size_t>(n);
+    avals[cnt] = aik;
+    ++cnt;
+  }
+  int g = 0;
+  for (; g + 4 <= cnt; g += 4) {
+    m61_pass<4>(brows + g, avals + g, nv, acc_ll, acc_mid, acc_hh);
+  }
+  switch (cnt - g) {
+    case 1: m61_pass<1>(brows + g, avals + g, nv, acc_ll, acc_mid, acc_hh); break;
+    case 2: m61_pass<2>(brows + g, avals + g, nv, acc_ll, acc_mid, acc_hh); break;
+    case 3: m61_pass<3>(brows + g, avals + g, nv, acc_ll, acc_mid, acc_hh); break;
+    default: break;
+  }
+  for (int v = 0; v < nv; ++v) {
+    // Folded accumulators are <= 2^61 + 7 each, so the 3-way sum is < 2^63;
+    // adding the < 2^61 canonical entry of C still fits 64 bits, and one
+    // scalar reduce lands the lane canonically back in [0, p).
+    const __m256i sum = _mm256_add_epi64(
+        _mm256_add_epi64(acc_ll[v], acc_mid[v]), acc_hh[v]);
+    alignas(32) std::uint64_t lanes[4];
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), sum);
+    for (int l = 0; l < 4; ++l) {
+      crow[4 * v + l] = Mersenne61::reduce(crow[4 * v + l] + lanes[l]);
+    }
+  }
+}
+
+// --------------------------------------------------------------- tropical
+
+/// Lane-wise min of 64-bit values < 2^63: the signed compare is exact for
+/// that range — see the header comment on tropical_mm_rows_avx2.
+inline __m256i tropical_vmin(__m256i x, __m256i y) {
+  return _mm256_blendv_epi8(x, y, _mm256_cmpgt_epi64(x, y));
+}
+
+/// b + av, 4 lanes wide (one shifted B candidate slice).
+inline __m256i tropical_cand(const std::uint64_t* bp, __m256i av) {
+  return _mm256_add_epi64(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp)), av);
+}
+
+}  // namespace
+
+void m61_mm_rows_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                      std::uint64_t* c, int n, int i0, int i1) {
+  const int n4 = n & ~3;  // vectorized column prefix
+  const int nv = n4 / 4;  // 4-lane vectors per row
+  const int kb = kernel_k_block(n);
+  // Per-call accumulator scratch (3 * n words — L1-resident at protocol
+  // block sizes), reused across every (row, k-block) pair of this range.
+  // Over-allocated and hand-aligned to 32 bytes: dereferencing __m256i*
+  // issues aligned moves, and std::vector<std::uint64_t> only guarantees 8.
+  std::vector<std::uint64_t> scratch(static_cast<std::size_t>(3 * n4) + 3);
+  void* raw = scratch.data();
+  std::size_t space = scratch.size() * sizeof(std::uint64_t);
+  __m256i* acc_ll = reinterpret_cast<__m256i*>(std::align(32, 1, raw, space));
+  __m256i* acc_mid = acc_ll + nv;
+  __m256i* acc_hh = acc_mid + nv;
+  // Gather scratch for one (row, k-block) pair's non-zero lanes.
+  std::vector<const std::uint64_t*> brows(static_cast<std::size_t>(kb));
+  std::vector<std::uint64_t> avals(static_cast<std::size_t>(kb));
+  for (int i = i0; i < i1; ++i) {
+    const std::uint64_t* arow =
+        a + static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
+    std::uint64_t* crow =
+        c + static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
+    for (int j = 0; j < n4; ++j) crow[j] = 0;  // block partials add into C
+    if (n4 < n) m61_cols_tail(arow, b, crow, n, n4);
+  }
+  for (int kb0 = 0; kb0 < n; kb0 += kb) {
+    const int kb1 = std::min(n, kb0 + kb);
+    for (int i = i0; i < i1; ++i) {
+      m61_row_block(a + static_cast<std::size_t>(i) * static_cast<std::size_t>(n),
+                    b, c + static_cast<std::size_t>(i) * static_cast<std::size_t>(n),
+                    n, nv, kb0, kb1, acc_ll, acc_mid, acc_hh, brows.data(),
+                    avals.data());
+    }
+  }
+}
+
+void tropical_mm_rows_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                           std::uint64_t* c, int n, int i0, int i1) {
+  // All values are <= kTropicalInf < 2^62 and candidates aik + b <= 2^62,
+  // so signed 64-bit lane compares implement the unsigned min exactly, and
+  // +inf B-lanes mask themselves: a candidate >= kInf never beats an
+  // accumulator that starts at kInf and only ever decreases.
+  const __m256i inf = _mm256_set1_epi64x(static_cast<long long>(kTropicalInf));
+  const int n4 = n & ~3;
+  const int kb = kernel_k_block(n);
+  // Gathered non-inf lanes of one (row, k-block) pair: the shifted B row
+  // pointers and their A weights. Gathering first lets the hot loop fuse 4
+  // k-steps per pass over the output row — one accumulator load/store per 4
+  // candidate rows instead of per row — while B still streams sequentially.
+  std::vector<const std::uint64_t*> brows(static_cast<std::size_t>(kb));
+  std::vector<std::uint64_t> avals(static_cast<std::size_t>(kb));
+  for (int i = i0; i < i1; ++i) {
+    // The output row is the accumulator (c never aliases a or b).
+    std::uint64_t* crow =
+        c + static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
+    for (int j = 0; j < n4; j += 4) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(crow + j), inf);
+    }
+    for (int j = n4; j < n; ++j) crow[j] = kTropicalInf;
+  }
+  for (int kb0 = 0; kb0 < n; kb0 += kb) {
+    const int kb1 = std::min(n, kb0 + kb);
+    for (int i = i0; i < i1; ++i) {
+      const std::uint64_t* arow =
+          a + static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
+      std::uint64_t* crow =
+          c + static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
+      int cnt = 0;
+      for (int k = kb0; k < kb1; ++k) {
+        const std::uint64_t aik = arow[k];
+        if (aik == kTropicalInf) continue;  // whole lane is a no-op
+        brows[static_cast<std::size_t>(cnt)] =
+            b + static_cast<std::size_t>(k) * static_cast<std::size_t>(n);
+        avals[static_cast<std::size_t>(cnt)] = aik;
+        ++cnt;
+      }
+      int g = 0;
+      for (; g + 4 <= cnt; g += 4) {
+        const __m256i av0 =
+            _mm256_set1_epi64x(static_cast<long long>(avals[g]));
+        const __m256i av1 =
+            _mm256_set1_epi64x(static_cast<long long>(avals[g + 1]));
+        const __m256i av2 =
+            _mm256_set1_epi64x(static_cast<long long>(avals[g + 2]));
+        const __m256i av3 =
+            _mm256_set1_epi64x(static_cast<long long>(avals[g + 3]));
+        const std::uint64_t* b0 = brows[g];
+        const std::uint64_t* b1 = brows[g + 1];
+        const std::uint64_t* b2 = brows[g + 2];
+        const std::uint64_t* b3 = brows[g + 3];
+        for (int j = 0; j < n4; j += 4) {
+          const __m256i acc =
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(crow + j));
+          // Tree-shaped min keeps the dependency chain at depth 3 so
+          // consecutive j iterations overlap in flight.
+          const __m256i m01 = tropical_vmin(tropical_cand(b0 + j, av0),
+                                            tropical_cand(b1 + j, av1));
+          const __m256i m23 = tropical_vmin(tropical_cand(b2 + j, av2),
+                                            tropical_cand(b3 + j, av3));
+          _mm256_storeu_si256(
+              reinterpret_cast<__m256i*>(crow + j),
+              tropical_vmin(acc, tropical_vmin(m01, m23)));
+        }
+      }
+      for (; g < cnt; ++g) {
+        const __m256i av =
+            _mm256_set1_epi64x(static_cast<long long>(avals[g]));
+        const std::uint64_t* bg = brows[g];
+        for (int j = 0; j < n4; j += 4) {
+          const __m256i acc =
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(crow + j));
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(crow + j),
+                              tropical_vmin(acc, tropical_cand(bg + j, av)));
+        }
+      }
+      // Scalar trailing columns, one pass per gathered lane.
+      for (int idx = 0; idx < cnt; ++idx) {
+        const std::uint64_t av = avals[idx];
+        const std::uint64_t* brow = brows[idx];
+        for (int j = n4; j < n; ++j) {
+          const std::uint64_t cand = av + brow[j];
+          if (cand < crow[j]) crow[j] = cand;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace cclique
+
+#endif  // CCLIQUE_AVX2_TU

@@ -1,5 +1,7 @@
 #include "linalg/mat61.h"
 
+#include "linalg/kernels.h"
+
 namespace cclique {
 
 Mat61::Mat61(int n) : n_(n) {
@@ -55,36 +57,12 @@ Mat61 m61_multiply_schoolbook(const Mat61& a, const Mat61& b) {
 
 Mat61 m61_multiply_blocked(const Mat61& a, const Mat61& b) {
   CC_REQUIRE(a.n() == b.n(), "size mismatch");
-  const int n = a.n();
-  Mat61 out(n);
-  if (n == 0) return out;
-  // Panel depth: products of reduced elements are < 2^122, so 32 of them
-  // sum to < 2^127 — no 128-bit overflow before the per-panel fold.
-  constexpr int kPanel = 32;
-  std::vector<__uint128_t> acc(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    for (auto& e : acc) e = 0;
-    for (int k0 = 0; k0 < n; k0 += kPanel) {
-      const int k1 = k0 + kPanel < n ? k0 + kPanel : n;
-      for (int k = k0; k < k1; ++k) {
-        const std::uint64_t aik = a.row(i)[k];
-        if (aik == 0) continue;  // adjacency inputs are sparse in practice
-        const std::uint64_t* brow = b.row(k);
-        for (int j = 0; j < n; ++j) {
-          acc[static_cast<std::size_t>(j)] +=
-              static_cast<__uint128_t>(aik) * brow[j];
-        }
-      }
-      // Fold the panel so the next one starts from a < 2^61 residue.
-      for (int j = 0; j < n; ++j) {
-        acc[static_cast<std::size_t>(j)] =
-            Mersenne61::reduce128(acc[static_cast<std::size_t>(j)]);
-      }
-    }
-    for (int j = 0; j < n; ++j) {
-      out.set(i, j, static_cast<std::uint64_t>(acc[static_cast<std::size_t>(j)]));
-    }
-  }
+  Mat61 out(a.n());
+  if (a.n() == 0) return out;
+  // The panel logic lives in linalg/kernels (m61_mm_rows_scalar) so the
+  // dispatch layer's threaded/vectorized variants share one definition of
+  // "the scalar kernel".
+  m61_mm_rows_scalar(a.data(), b.data(), out.mutable_data(), a.n(), 0, a.n());
   return out;
 }
 

@@ -77,6 +77,11 @@ class Mat61 {
     return data_.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(n_);
   }
 
+  /// Raw row-major storage (n*n words) — the view the linalg/kernels layer
+  /// operates on. Writers must keep every entry reduced in [0, p).
+  const std::uint64_t* data() const { return data_.data(); }
+  std::uint64_t* mutable_data() { return data_.data(); }
+
  private:
   void check(int i, int j) const {
     CC_REQUIRE(i >= 0 && i < n_ && j >= 0 && j < n_, "index out of range");

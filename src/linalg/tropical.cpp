@@ -1,5 +1,7 @@
 #include "linalg/tropical.h"
 
+#include "linalg/kernels.h"
+
 namespace cclique {
 
 TropicalMat::TropicalMat(int n) : n_(n) {
@@ -59,30 +61,12 @@ TropicalMat tropical_multiply_schoolbook(const TropicalMat& a, const TropicalMat
 
 TropicalMat tropical_multiply_blocked(const TropicalMat& a, const TropicalMat& b) {
   CC_REQUIRE(a.n() == b.n(), "size mismatch");
-  const int n = a.n();
-  TropicalMat out(n);
-  if (n == 0) return out;
-  std::vector<std::uint64_t> acc(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    for (auto& e : acc) e = kTropicalInf;
-    for (int k = 0; k < n; ++k) {
-      const std::uint64_t aik = a.row(i)[k];
-      if (aik == kTropicalInf) continue;  // whole lane is a no-op
-      const std::uint64_t* brow = b.row(k);
-      for (int j = 0; j < n; ++j) {
-        // aik + brow[j] < 2^62 (both <= kInf), so the raw sum never wraps;
-        // a sum >= kInf can never undercut acc[j] <= kInf, which makes the
-        // plain comparison exactly the saturating min.
-        const std::uint64_t cand = aik + brow[j];
-        if (cand < acc[static_cast<std::size_t>(j)]) {
-          acc[static_cast<std::size_t>(j)] = cand;
-        }
-      }
-    }
-    for (int j = 0; j < n; ++j) {
-      out.set(i, j, acc[static_cast<std::size_t>(j)]);
-    }
-  }
+  TropicalMat out(a.n());
+  if (a.n() == 0) return out;
+  // The row-streaming logic lives in linalg/kernels (tropical_mm_rows_scalar)
+  // so the dispatch layer's threaded/vectorized variants share one
+  // definition of "the scalar kernel".
+  tropical_mm_rows_scalar(a.data(), b.data(), out.mutable_data(), a.n(), 0, a.n());
   return out;
 }
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Docs-drift and markdown link checks (run by the CI `docs` job).
 
-Two checks, both offline:
+Three checks, all offline:
 
 1. Bench-table drift: every `bench_e*` target registered in
    bench/CMakeLists.txt (the CCLIQUE_BENCHES list) must be mentioned in
@@ -13,6 +13,11 @@ Two checks, both offline:
 2. Markdown links: every `[text](target)` in the top-level docs whose
    target is a relative path must point at an existing file (anchors are
    stripped; http(s)/mailto links are skipped — no network in CI).
+
+3. Env-knob drift: every `CC_*` environment variable read via getenv in
+   src/ or bench/ (the runtime knobs: CC_THREADS, CC_KERNEL, ...) must be
+   named in README.md — a knob that ships undocumented is invisible to
+   users and to the CI matrix.
 
 Exit status 0 when clean, 1 with one line per finding otherwise.
 Usage: python3 tools/check_docs.py  (from anywhere inside the repo)
@@ -88,14 +93,38 @@ def check_links():
     return problems
 
 
+GETENV_RE = re.compile(r'getenv\(\s*"(CC_[A-Z0-9_]+)"\s*\)')
+
+
+def check_env_knobs():
+    problems = []
+    knobs = set()
+    for top in ("src", "bench"):
+        for dirpath, _dirnames, filenames in os.walk(os.path.join(REPO, top)):
+            for name in filenames:
+                if not name.endswith((".cpp", ".h")):
+                    continue
+                with open(os.path.join(dirpath, name), encoding="utf-8") as f:
+                    knobs.update(GETENV_RE.findall(f.read()))
+    with open(os.path.join(REPO, "README.md"), encoding="utf-8") as f:
+        readme = f.read()
+    for knob in sorted(knobs):
+        if knob not in readme:
+            problems.append(
+                f"README.md: env knob `{knob}` is read by the code but never "
+                "documented — add it beside the CC_THREADS/CC_KERNEL docs"
+            )
+    return problems
+
+
 def main():
-    problems = check_bench_table() + check_links()
+    problems = check_bench_table() + check_links() + check_env_knobs()
     for p in problems:
         print(f"docs-drift: {p}", file=sys.stderr)
     if problems:
         print(f"docs-drift: {len(problems)} problem(s)", file=sys.stderr)
         return 1
-    print("docs-drift: bench table and markdown links are clean")
+    print("docs-drift: bench table, markdown links, and env knobs are clean")
     return 0
 
 
