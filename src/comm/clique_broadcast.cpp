@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analysis/locality_guard.h"
+#include "analysis/oblivious_guard.h"
 
 namespace cclique {
 
@@ -13,6 +14,9 @@ const std::vector<Message>& CliqueBroadcast::round(const BcastFn& bcast) {
   board_.assign(static_cast<std::size_t>(nn), Message{});
   core_.send_phase([&](int i, PlayerCharge& charge) {
     locality::PlayerScope scope(i);
+    // The callback's output becomes this round's blackboard write length:
+    // a length sink, like every engine send path (see oblivious_guard.h).
+    oblivious::SinkScope sink(CC_OBLIVIOUS_SITE("CLIQUE-BCAST send callback"));
     Message msg = bcast(i);
     core_.charge_broadcast(i, msg.size_bits(), charge,
                            "per-player bandwidth exceeded in CLIQUE-BCAST");
@@ -31,6 +35,7 @@ const std::vector<Message>& CliqueBroadcast::round_fill(const FillFn& fill) {
   const int nn = n();
   core_.send_phase([&](int i, PlayerCharge& charge) {
     locality::PlayerScope scope(i);
+    oblivious::SinkScope sink(CC_OBLIVIOUS_SITE("CLIQUE-BCAST fill callback"));
     Message& slot = slots_[static_cast<std::size_t>(i)];
     slot.clear();
     fill(i, slot);
@@ -62,6 +67,9 @@ std::vector<Message> broadcast_payloads(CliqueBroadcast& net,
                                         int* rounds_used) {
   const int n = net.n();
   const std::size_t b = static_cast<std::size_t>(net.bandwidth());
+  // Chunk-schedule sink, mirroring unicast_payloads: rounds and slice
+  // lengths derive from Message sizes only.
+  oblivious::SinkScope sink(CC_OBLIVIOUS_SITE("broadcast_payloads chunk schedule"));
   CC_REQUIRE(static_cast<int>(payloads.size()) == n, "one payload per player");
   std::size_t max_len = 0;
   for (const auto& p : payloads) max_len = std::max(max_len, p.size_bits());

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analysis/locality_guard.h"
+#include "analysis/oblivious_guard.h"
 
 namespace cclique {
 
@@ -16,6 +17,10 @@ void CliqueUnicast::round(const SendFn& send, const RecvFn& recv) {
   legacy_out_.resize(static_cast<std::size_t>(nn));
   core_.send_phase([&](int i, PlayerCharge& charge) {
     locality::PlayerScope scope(i);
+    // The callback's outputs become this round's message lengths, so the
+    // whole callback is a length sink: payloads must be pre-serialized
+    // (comm/model.h), never read here.
+    oblivious::SinkScope sink(CC_OBLIVIOUS_SITE("CLIQUE-UCAST send callback"));
     std::vector<Message> box = send(i);
     CC_MODEL(static_cast<int>(box.size()) == nn,
              "outbox must have one slot per player");
@@ -45,6 +50,7 @@ void CliqueUnicast::round_fill(const FillFn& fill, const RecvFn& recv) {
   const int nn = n();
   core_.send_phase([&](int i, PlayerCharge& charge) {
     locality::PlayerScope scope(i);
+    oblivious::SinkScope sink(CC_OBLIVIOUS_SITE("CLIQUE-UCAST fill callback"));
     Message* box = &slots_[static_cast<std::size_t>(i) * static_cast<std::size_t>(nn)];
     for (int j = 0; j < nn; ++j) box[j].clear();
     fill(i, box);
@@ -99,6 +105,10 @@ int unicast_payloads(CliqueUnicast& net,
                      std::vector<std::vector<Message>>* received) {
   const int n = net.n();
   const std::size_t b = static_cast<std::size_t>(net.bandwidth());
+  // The whole driver is a chunk-schedule sink: rounds and slice lengths
+  // derive from Message *sizes* (already-committed lengths), never from
+  // payload values, and the blanket scope makes that machine-checked.
+  oblivious::SinkScope sink(CC_OBLIVIOUS_SITE("unicast_payloads chunk schedule"));
   CC_REQUIRE(static_cast<int>(payload.size()) == n, "payload matrix must be n x n");
   std::size_t max_len = 0;
   for (const auto& row : payload) {
@@ -144,6 +154,8 @@ int unicast_payloads_relayed(CliqueUnicast& net,
                              const std::vector<std::vector<Message>>& payload,
                              std::vector<std::vector<Message>>* received) {
   const int n = net.n();
+  oblivious::SinkScope sink(
+      CC_OBLIVIOUS_SITE("unicast_payloads_relayed chunk schedule"));
   CC_REQUIRE(static_cast<int>(payload.size()) == n, "payload matrix must be n x n");
   for (int v = 0; v < n; ++v) {
     const auto& row = payload[static_cast<std::size_t>(v)];

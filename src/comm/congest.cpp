@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analysis/locality_guard.h"
+#include "analysis/oblivious_guard.h"
 
 namespace cclique {
 
@@ -28,6 +29,10 @@ void CongestUnicast::round(const SendFn& send, const RecvFn& recv) {
   out_.resize(static_cast<std::size_t>(nv));
   core_.send_phase([&](int v, PlayerCharge& charge) {
     locality::PlayerScope scope(v);
+    // Length sink like the clique engines. The *topology* (neighbor lists)
+    // is not a tainted source — in CONGEST the input graph is the network,
+    // so sizing an outbox by degree is structural, not payload-dependent.
+    oblivious::SinkScope sink(CC_OBLIVIOUS_SITE("CONGEST send callback"));
     const auto& nbrs = topology_.neighbors(v);
     std::vector<Message> box = send(v);
     CC_MODEL(box.size() == nbrs.size(),

@@ -19,6 +19,14 @@
 // (comm/engine.h) may run them concurrently (CC_THREADS); a callback that
 // touches shared mutable state breaks the discipline *and* the scheduler.
 // Receive callbacks are always invoked serially in player order.
+//
+// Obliviousness discipline: round counts and message lengths must be
+// functions of (n, element width, bandwidth) alone — payload bits are
+// serialized *before* a round, so callbacks and plan functions never read
+// payload storage. The rule is mechanically enforced by the obliviousness
+// guard (analysis/oblivious_guard.h, CCLIQUE_OBLIVIOUS=ON builds) and by
+// tools/cc_oblivious.py statically in CI; see DESIGN.md §2.7 for the
+// sources/sinks table and the declared-dependence escape hatch.
 #pragma once
 
 #include <cstdint>

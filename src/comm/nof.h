@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "analysis/locality_guard.h"
+#include "analysis/oblivious_guard.h"
 #include "comm/engine.h"
 #include "comm/model.h"
 #include "util/check.h"
@@ -53,8 +54,15 @@ class NofBlackboard {
   /// inside a guarded player scope (a simulated-clique callback driving the
   /// reduction), the write must be attributed to that same player — spending
   /// another party's budget is a model violation.
+  /// The write commits the message's length to the metered transcript, so
+  /// the charge runs under a sink scope. The meter substrates have no
+  /// callback seam like the round engines — a reduction that *computes* a
+  /// transcript length opens its own oblivious::SinkScope around that
+  /// computation (the repo's reductions inherit the CLIQUE-BCAST callback
+  /// sink, because they simulate a broadcast protocol).
   void write(int who, const Message& m) {
     locality::check_actor(who, "NOF blackboard write");
+    oblivious::SinkScope sink(CC_OBLIVIOUS_SITE("NOF blackboard write"));
     meter_.charge_message(who, m.size_bits());
   }
 

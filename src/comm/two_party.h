@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "analysis/locality_guard.h"
+#include "analysis/oblivious_guard.h"
 #include "comm/engine.h"
 #include "comm/model.h"
 #include "util/check.h"
@@ -52,12 +53,17 @@ DisjointnessInstance random_intersecting_instance(std::size_t n, double density,
 /// core's PartyMeter (comm/engine.h).
 class TwoPartyChannel {
  public:
+  /// Sends commit the message's length to the metered transcript, so the
+  /// charges run under a sink scope (see NofBlackboard::write for how the
+  /// meter substrates relate to the round engines' callback sinks).
   void send_from_alice(const Message& m) {
     locality::check_actor(0, "two-party send from Alice");
+    oblivious::SinkScope sink(CC_OBLIVIOUS_SITE("two-party send from Alice"));
     meter_.charge_message(0, m.size_bits());
   }
   void send_from_bob(const Message& m) {
     locality::check_actor(1, "two-party send from Bob");
+    oblivious::SinkScope sink(CC_OBLIVIOUS_SITE("two-party send from Bob"));
     meter_.charge_message(1, m.size_bits());
   }
   /// Convenience for raw accounting when a reduction computes cost in bulk.

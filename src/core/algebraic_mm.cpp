@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "analysis/locality_guard.h"
+#include "analysis/oblivious_guard.h"
 #include "core/block_mm.h"
 #include "linalg/kernels.h"
 #include "util/math_util.h"
@@ -93,6 +94,9 @@ int share_partials(CliqueUnicast& net, const std::vector<std::vector<std::uint64
 }  // namespace
 
 AlgebraicMmPlan algebraic_mm_plan(int n, int word_bits, int bandwidth) {
+  // Plan functions are length sinks: the schedule is a function of
+  // (n, w, b) alone, and the guard proves no payload read sneaks in.
+  oblivious::SinkScope sink(CC_OBLIVIOUS_SITE("algebraic_mm_plan"));
   AlgebraicMmPlan plan;
   blockmm::fill_plan_schedule(&plan, n, word_bits, bandwidth);
   return plan;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "analysis/locality_guard.h"
+#include "analysis/oblivious_guard.h"
 #include "core/block_mm.h"
 #include "linalg/kernels.h"
 #include "util/math_util.h"
@@ -49,6 +50,9 @@ int ceil_log2(std::uint64_t x) {
 }  // namespace
 
 ApspPlan apsp_plan(int n, int bandwidth) {
+  // Plan-function sink: the full squaring schedule is priced from (n, b)
+  // alone — edge weights never enter (see DESIGN.md, obliviousness contract).
+  oblivious::SinkScope sink(CC_OBLIVIOUS_SITE("apsp_plan"));
   CC_REQUIRE(n >= 1, "need at least one player");
   CC_REQUIRE(bandwidth >= 1, "bandwidth must be positive");
   ApspPlan plan;

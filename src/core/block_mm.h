@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "analysis/locality_guard.h"
+#include "analysis/oblivious_guard.h"
 #include "comm/clique_unicast.h"
 #include "util/check.h"
 #include "util/math_util.h"
@@ -75,6 +76,9 @@ using LengthMatrix = std::vector<std::vector<std::size_t>>;
 /// B-row slice over columns J_j to every triple (*, j, k) with v in K_k
 /// (A part first, then B part — the decode order). Self-payloads are local.
 inline LengthMatrix distribute_lengths(const BlockGrid& g, int w) {
+  // Length computation is a sink: the matrix must be a function of the grid
+  // geometry and the element width alone, never of matrix entries.
+  oblivious::SinkScope sink(CC_OBLIVIOUS_SITE("distribute_lengths"));
   LengthMatrix len(static_cast<std::size_t>(g.n),
                    std::vector<std::size_t>(static_cast<std::size_t>(g.n), 0));
   for (int p = 0; p < g.triples(); ++p) {
@@ -96,6 +100,7 @@ inline LengthMatrix distribute_lengths(const BlockGrid& g, int w) {
 /// Aggregation-phase payload lengths: triple (i, j, k) ships one partial
 /// row slice (|J_j| elements) to every output row owner r in I_i.
 inline LengthMatrix aggregate_lengths(const BlockGrid& g, int w) {
+  oblivious::SinkScope sink(CC_OBLIVIOUS_SITE("aggregate_lengths"));
   LengthMatrix len(static_cast<std::size_t>(g.n),
                    std::vector<std::size_t>(static_cast<std::size_t>(g.n), 0));
   for (int p = 0; p < g.triples(); ++p) {
@@ -117,6 +122,7 @@ struct RelayCost {
 };
 
 inline RelayCost relay_cost(const LengthMatrix& len, int n, int bandwidth) {
+  oblivious::SinkScope sink(CC_OBLIVIOUS_SITE("relay_cost"));
   const std::size_t b = static_cast<std::size_t>(bandwidth);
   auto chunk = [n](std::size_t l, int c) {
     return relay_chunk_lo(l, c + 1, n) - relay_chunk_lo(l, c, n);
@@ -288,6 +294,10 @@ Result run_block_mm(CliqueUnicast& net, const typename Ops::Matrix& a,
 /// the heaviest pre-relay per-player payload load.
 template <typename Plan>
 void fill_plan_schedule(Plan* plan, int n, int word_bits, int bandwidth) {
+  // Plan-function sink: the whole schedule is priced from (n, w, b). Note
+  // run_block_mm above is deliberately NOT a sink — it is the executor, and
+  // its payload building legitimately reads matrix entries.
+  oblivious::SinkScope sink(CC_OBLIVIOUS_SITE("fill_plan_schedule"));
   CC_REQUIRE(word_bits >= 1 && word_bits <= 64, "word width out of range");
   CC_REQUIRE(bandwidth >= 1, "bandwidth must be positive");
   const BlockGrid g(n);

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "analysis/locality_guard.h"
+#include "analysis/oblivious_guard.h"
 #include "routing/router.h"
 #include "util/math_util.h"
 
@@ -73,6 +74,10 @@ EdgeRecord unpack_record(std::uint64_t bits, int addr) {
 /// std::map lookup per neighbor per phase (O(m log m) local work per phase).
 std::vector<std::vector<std::uint32_t>> build_incident_weights(
     const Graph& g, const std::vector<std::uint32_t>& weights) {
+  // Edge weights are payload (they decide which edges win, never how many
+  // bits a round ships): register the ingestion as a tainted source so a
+  // schedule computed inside a sink can never consume them.
+  oblivious::source_touch(CC_OBLIVIOUS_SITE("MST edge-weight ingestion"));
   const int n = g.num_vertices();
   std::vector<std::vector<std::uint32_t>> weight_at(static_cast<std::size_t>(n));
   for (int v = 0; v < n; ++v) {
@@ -566,6 +571,12 @@ void MstEngine::run_lotker_phase(int submit_cap) {
 
 MstPhasePlan mst_phase_plan(MstAlgorithm algorithm, int n, int live_fragments,
                             int bandwidth) {
+  // Plan-function sink. `live_fragments` is data-derived but common
+  // knowledge by the time a phase is priced (every player learns the merge
+  // outcomes), and it arrives here as a plain int — pricing from it is the
+  // documented declared-dependence precedent in DESIGN.md §2.7. Reading
+  // *edge weights* here would trip the guard.
+  oblivious::SinkScope sink(CC_OBLIVIOUS_SITE("mst_phase_plan"));
   CC_REQUIRE(n >= 1 && live_fragments >= 0 && live_fragments <= n,
              "fragment count must lie in [0, n]");
   CC_REQUIRE(bandwidth >= 1, "bandwidth must be positive");

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "analysis/oblivious_guard.h"
 #include "graph/graph.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -31,6 +32,9 @@ class F2Matrix {
 
   bool get(int i, int j) const {
     check(i, j);
+    // Entry bits are payload: reading them while a length/round decision is
+    // being made (an oblivious::SinkScope) is a model violation.
+    oblivious::source_touch(CC_OBLIVIOUS_SITE("F2Matrix::get"));
     return (rows_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j) >> 6] >>
             (static_cast<std::size_t>(j) & 63)) & 1ULL;
   }
@@ -61,6 +65,7 @@ class F2Matrix {
 
   const std::vector<std::uint64_t>& row(int i) const {
     CC_REQUIRE(i >= 0 && i < n_, "row out of range");
+    oblivious::source_touch(CC_OBLIVIOUS_SITE("F2Matrix::row"));
     return rows_[static_cast<std::size_t>(i)];
   }
 

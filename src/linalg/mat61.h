@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "analysis/oblivious_guard.h"
 #include "graph/graph.h"
 #include "util/check.h"
 #include "util/field.h"
@@ -36,6 +37,9 @@ class Mat61 {
 
   std::uint64_t get(int i, int j) const {
     check(i, j);
+    // Entry values are payload: reading them while a length/round decision
+    // is being made (an oblivious::SinkScope) is a model violation.
+    oblivious::source_touch(CC_OBLIVIOUS_SITE("Mat61::get"));
     return data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
                  static_cast<std::size_t>(j)];
   }
@@ -74,12 +78,16 @@ class Mat61 {
   /// Contiguous row i (n elements).
   const std::uint64_t* row(int i) const {
     CC_REQUIRE(i >= 0 && i < n_, "row out of range");
+    oblivious::source_touch(CC_OBLIVIOUS_SITE("Mat61::row"));
     return data_.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(n_);
   }
 
   /// Raw row-major storage (n*n words) — the view the linalg/kernels layer
   /// operates on. Writers must keep every entry reduced in [0, p).
-  const std::uint64_t* data() const { return data_.data(); }
+  const std::uint64_t* data() const {
+    oblivious::source_touch(CC_OBLIVIOUS_SITE("Mat61::data"));
+    return data_.data();
+  }
   std::uint64_t* mutable_data() { return data_.data(); }
 
  private:

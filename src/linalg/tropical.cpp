@@ -28,6 +28,9 @@ TropicalMat TropicalMat::random(int n, Rng& rng, std::uint64_t bound,
 
 TropicalMat TropicalMat::from_weighted_graph(
     const Graph& g, const std::vector<std::uint32_t>& weights) {
+  // Edge weights are payload: tag the ingestion like the MST path does, so
+  // a schedule computed inside an oblivious::SinkScope can never read them.
+  oblivious::source_touch(CC_OBLIVIOUS_SITE("APSP edge-weight ingestion"));
   const std::vector<Edge> edges = g.edges();
   CC_REQUIRE(weights.size() == edges.size(), "one weight per edge");
   TropicalMat m(g.num_vertices());

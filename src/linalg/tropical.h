@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "analysis/oblivious_guard.h"
 #include "graph/graph.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -64,6 +65,9 @@ class TropicalMat {
   /// range (CC_REQUIRE).
   std::uint64_t get(int i, int j) const {
     check(i, j);
+    // Distances are payload: reading them while a length/round decision is
+    // being made (an oblivious::SinkScope) is a model violation.
+    oblivious::source_touch(CC_OBLIVIOUS_SITE("TropicalMat::get"));
     return data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
                  static_cast<std::size_t>(j)];
   }
@@ -110,12 +114,16 @@ class TropicalMat {
   /// Contiguous row i (n elements).
   const std::uint64_t* row(int i) const {
     CC_REQUIRE(i >= 0 && i < n_, "row out of range");
+    oblivious::source_touch(CC_OBLIVIOUS_SITE("TropicalMat::row"));
     return data_.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(n_);
   }
 
   /// Raw row-major storage (n*n words) — the view the linalg/kernels layer
   /// operates on. Writers must keep every entry <= kTropicalInf.
-  const std::uint64_t* data() const { return data_.data(); }
+  const std::uint64_t* data() const {
+    oblivious::source_touch(CC_OBLIVIOUS_SITE("TropicalMat::data"));
+    return data_.data();
+  }
   std::uint64_t* mutable_data() { return data_.data(); }
 
  private:

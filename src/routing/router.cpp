@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "analysis/locality_guard.h"
+#include "analysis/oblivious_guard.h"
 #include "util/math_util.h"
 
 namespace cclique {
@@ -169,41 +170,47 @@ RoutingResult route_two_phase(CliqueUnicast& net, const RoutingDemand& demand) {
   // guarantees an integral schedule exists. The greedy below tracks the
   // fractional optimum by always placing the next message on the relay
   // minimizing its two incident edge loads.
-  std::vector<std::vector<std::uint32_t>> load_out(
-      static_cast<std::size_t>(n), std::vector<std::uint32_t>(static_cast<std::size_t>(n), 0));
-  std::vector<std::vector<std::uint32_t>> load_in(
-      static_cast<std::size_t>(n), std::vector<std::uint32_t>(static_cast<std::size_t>(n), 0));
-
-  // Deterministic processing order: sort message indices by (dest, source).
-  std::vector<std::size_t> order(demand.messages.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    const auto& ma = demand.messages[a];
-    const auto& mb = demand.messages[b];
-    if (ma.dest != mb.dest) return ma.dest < mb.dest;
-    if (ma.source != mb.source) return ma.source < mb.source;
-    return a < b;
-  });
-
   std::vector<int> relay_of(demand.messages.size(), 0);
-  for (std::size_t k : order) {
-    const auto& m = demand.messages[k];
-    int best = -1;
-    std::uint32_t best_max = 0, best_sum = 0;
-    for (int r = 0; r < n; ++r) {
-      const std::uint32_t lo = load_out[static_cast<std::size_t>(m.source)][static_cast<std::size_t>(r)];
-      const std::uint32_t li = load_in[static_cast<std::size_t>(r)][static_cast<std::size_t>(m.dest)];
-      const std::uint32_t mx = std::max(lo, li);
-      const std::uint32_t sum = lo + li;
-      if (best < 0 || mx < best_max || (mx == best_max && sum < best_sum)) {
-        best = r;
-        best_max = mx;
-        best_sum = sum;
+  {
+    // Schedule-computation sink: the relay assignment may read the demand
+    // *pattern* (sources, destinations — common knowledge) but never the
+    // message payloads. run_relay_plan below is the executor and is exempt.
+    oblivious::SinkScope sink(CC_OBLIVIOUS_SITE("route_two_phase relay schedule"));
+    std::vector<std::vector<std::uint32_t>> load_out(
+        static_cast<std::size_t>(n), std::vector<std::uint32_t>(static_cast<std::size_t>(n), 0));
+    std::vector<std::vector<std::uint32_t>> load_in(
+        static_cast<std::size_t>(n), std::vector<std::uint32_t>(static_cast<std::size_t>(n), 0));
+
+    // Deterministic processing order: sort message indices by (dest, source).
+    std::vector<std::size_t> order(demand.messages.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const auto& ma = demand.messages[a];
+      const auto& mb = demand.messages[b];
+      if (ma.dest != mb.dest) return ma.dest < mb.dest;
+      if (ma.source != mb.source) return ma.source < mb.source;
+      return a < b;
+    });
+
+    for (std::size_t k : order) {
+      const auto& m = demand.messages[k];
+      int best = -1;
+      std::uint32_t best_max = 0, best_sum = 0;
+      for (int r = 0; r < n; ++r) {
+        const std::uint32_t lo = load_out[static_cast<std::size_t>(m.source)][static_cast<std::size_t>(r)];
+        const std::uint32_t li = load_in[static_cast<std::size_t>(r)][static_cast<std::size_t>(m.dest)];
+        const std::uint32_t mx = std::max(lo, li);
+        const std::uint32_t sum = lo + li;
+        if (best < 0 || mx < best_max || (mx == best_max && sum < best_sum)) {
+          best = r;
+          best_max = mx;
+          best_sum = sum;
+        }
       }
+      relay_of[k] = best;
+      ++load_out[static_cast<std::size_t>(m.source)][static_cast<std::size_t>(best)];
+      ++load_in[static_cast<std::size_t>(best)][static_cast<std::size_t>(m.dest)];
     }
-    relay_of[k] = best;
-    ++load_out[static_cast<std::size_t>(m.source)][static_cast<std::size_t>(best)];
-    ++load_in[static_cast<std::size_t>(best)][static_cast<std::size_t>(m.dest)];
   }
   return run_relay_plan(net, demand, relay_of);
 }
@@ -212,7 +219,13 @@ RoutingResult route_valiant(CliqueUnicast& net, const RoutingDemand& demand, Rng
   check_payload_widths(demand);
   const int n = net.n();
   std::vector<int> relay_of(demand.messages.size());
-  for (auto& r : relay_of) r = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+  {
+    // Randomized schedules are still oblivious: the draws depend on the rng
+    // stream and n, never on payloads, so Rng is deliberately not a taint
+    // source and this sink stays quiet.
+    oblivious::SinkScope sink(CC_OBLIVIOUS_SITE("route_valiant relay draws"));
+    for (auto& r : relay_of) r = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+  }
   return run_relay_plan(net, demand, relay_of);
 }
 

@@ -29,6 +29,8 @@ Three checks, all heuristic but tuned to this codebase's idiom:
    rounds/bits is untested paper math.
 
 A finding can be suppressed with a `// locality-ok` comment on its line.
+Scanner plumbing and the self-test harness are shared with
+tools/cc_oblivious.py via tools/lint_common.py.
 
 Exit status 0 when clean, 1 with one line per finding otherwise.
 Usage:
@@ -41,11 +43,11 @@ import os
 import re
 import sys
 
-REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-SRC = os.path.join(REPO, "src")
-FIXTURE = os.path.join(REPO, "tools", "fixtures", "locality_violation_example.cpp")
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import lint_common as lc
 
-CAST_RE = re.compile(r"static_cast<[^<>]*>\s*\(([^()]*)\)")
+FIXTURE = os.path.join(lc.REPO, "tools", "fixtures", "locality_violation_example.cpp")
+
 TAGGED_RE = re.compile(r"locality::PerPlayer<[\w:<>,\s]*>\s+(\w+)\s*\(")
 CALLBACK_CALL_RE = re.compile(r"\.(?:round|round_fill|send_phase)\s*\(")
 LAMBDA_RE = re.compile(r"\[&\]\s*\(\s*(?:const\s+)?int\s+(\w+)([^)]*)\)")
@@ -58,46 +60,6 @@ PLAN_CALL_RE = re.compile(r"(?:=|return)\s*(?!run_)\w+_plan\s*\(")
 CC_CHECK_PLAN_RE = re.compile(r"CC_CHECK\s*\([^;]*plan", re.S)
 
 
-def normalize(text):
-    """Strips static_cast<...>(x) wrappers (repeatedly, for nesting)."""
-    prev = None
-    while prev != text:
-        prev = text
-        text = CAST_RE.sub(r"\1", text)
-    return text
-
-
-def suppressed_lines(text):
-    return {
-        i + 1 for i, line in enumerate(text.splitlines()) if "locality-ok" in line
-    }
-
-
-def strip_comments(text):
-    """Blanks out // and /* */ comments, preserving newlines and offsets."""
-
-    def blank(m):
-        return re.sub(r"[^\n]", " ", m.group(0))
-
-    text = re.sub(r"/\*.*?\*/", blank, text, flags=re.S)
-    return re.sub(r"//[^\n]*", blank, text)
-
-
-def match_brace(text, open_pos):
-    """Index just past the brace/paren block opening at open_pos."""
-    open_ch = text[open_pos]
-    close_ch = {"{": "}", "(": ")"}[open_ch]
-    depth = 0
-    for i in range(open_pos, len(text)):
-        if text[i] == open_ch:
-            depth += 1
-        elif text[i] == close_ch:
-            depth -= 1
-            if depth == 0:
-                return i + 1
-    return len(text)
-
-
 def callback_bodies(text):
     """Yields (param, all_params, body, body_offset) for engine-callback
     lambdas: every `[&](int p, ...)` lambda inside the argument span of an
@@ -105,7 +67,7 @@ def callback_bodies(text):
     accesses through them are never treated as captures."""
     for call in CALLBACK_CALL_RE.finditer(text):
         open_paren = call.end() - 1
-        span_end = match_brace(text, open_paren)
+        span_end = lc.match_brace(text, open_paren)
         span = text[open_paren:span_end]
         for lam in LAMBDA_RE.finditer(span):
             params = {lam.group(1)}
@@ -113,7 +75,7 @@ def callback_bodies(text):
             brace = span.find("{", lam.end())
             if brace < 0:
                 continue
-            body_end = match_brace(span, brace)
+            body_end = lc.match_brace(span, brace)
             yield lam.group(1), params, span[brace:body_end], open_paren + brace
 
 
@@ -121,13 +83,13 @@ def enclosing_if_conditions(body, pos):
     """Conditions of the if-blocks whose braces enclose `pos` in `body`."""
     conditions = []
     for m in re.finditer(r"\bif\s*\(", body):
-        cond_end = match_brace(body, m.end() - 1)
+        cond_end = lc.match_brace(body, m.end() - 1)
         brace = cond_end
         while brace < len(body) and body[brace] in " \t\n":
             brace += 1
         if brace >= len(body) or body[brace] != "{":
             continue
-        block_end = match_brace(body, brace)
+        block_end = lc.match_brace(body, brace)
         if brace < pos < block_end:
             conditions.append(body[m.end() : cond_end - 1])
     return conditions
@@ -155,24 +117,20 @@ def declared_in(body, name):
     )
 
 
-def line_of(text, offset):
-    return text.count("\n", 0, offset) + 1
-
-
 def scan_file(path):
     problems = []
     with open(path, encoding="utf-8") as f:
         raw = f.read()
-    rel = os.path.relpath(path, REPO)
-    suppressed = suppressed_lines(raw)
-    text = normalize(strip_comments(raw))
+    rel = os.path.relpath(path, lc.REPO)
+    suppressed = lc.suppressed_lines(raw, "locality-ok")
+    text = lc.normalize(lc.strip_comments(raw))
     tagged = set(TAGGED_RE.findall(text))
 
     for param, params, body, body_off in callback_bodies(text):
         model_once = re.search(MODEL_ONCE_RE.format(p=re.escape(param)), body)
         for acc in ACCESS_RE.finditer(body):
             name, idx = acc.group(1), acc.group(2).strip()
-            line = line_of(text, body_off + acc.start())
+            line = lc.line_of(text, body_off + acc.start())
             if line in suppressed:
                 continue
             if idx == param:
@@ -209,69 +167,21 @@ def scan_file(path):
     return problems
 
 
-def source_files(root):
-    out = []
-    for dirpath, _, filenames in os.walk(root):
-        for fn in sorted(filenames):
-            if fn.endswith((".cpp", ".h")):
-                out.append(os.path.join(dirpath, fn))
-    return out
-
-
 def self_test():
-    problems = scan_file(FIXTURE)
-    for p in problems:
-        print(f"locality[self-test finding]: {p}")
-    missing = [
-        label
-        for label, needle in [
+    return lc.run_self_test(
+        "locality",
+        scan_file,
+        FIXTURE,
+        [
             ("check 1 (tagged cross-player access)", "(check 1)"),
             ("check 2 (reference-captured write)", "(check 2)"),
             ("check 3 (unchecked plan)", "(check 3)"),
-        ]
-        if not any(needle in p for p in problems)
-    ]
-    if missing:
-        for m in missing:
-            print(
-                f"locality: self-test FAILED — fixture violation not caught: {m}",
-                file=sys.stderr,
-            )
-        return 1
-    clean = []
-    for path in source_files(SRC):
-        clean += scan_file(path)
-    if clean:
-        for p in clean:
-            print(f"locality: {p}", file=sys.stderr)
-        print("locality: self-test FAILED — src/ must scan clean", file=sys.stderr)
-        return 1
-    print(
-        f"locality: self-test passed — {len(problems)} planted finding(s) "
-        "caught, src/ clean"
+        ],
     )
-    return 0
 
 
 def main(argv):
-    if "--self-test" in argv:
-        return self_test()
-    files = [os.path.abspath(a) for a in argv if not a.startswith("-")]
-    if not files:
-        files = source_files(SRC)
-    problems = []
-    for path in files:
-        try:
-            problems += scan_file(path)
-        except OSError as e:
-            problems.append(f"{path}: unreadable ({e.strerror})")
-    for p in problems:
-        print(f"locality: {p}", file=sys.stderr)
-    if problems:
-        print(f"locality: {len(problems)} problem(s)", file=sys.stderr)
-        return 1
-    print(f"locality: {len(files)} file(s) clean")
-    return 0
+    return lc.run_main("locality", argv, scan_file, self_test)
 
 
 if __name__ == "__main__":
