@@ -1,0 +1,189 @@
+// E19 — the sparse & sharded matrix substrate: nnz-declared sparse MM
+// schedules vs the dense oblivious plan, the crossover-routed counting and
+// APSP backends, and the O(n + m) sparse workload pipeline.
+//
+// The dense block-decomposed product (E17/E18) prices every operand entry
+// whether or not it is zero; for an operand with nnz ≪ n² almost all of that
+// traffic moves implicit zeros. The sparse schedule first makes the per-block
+// nnz profile common knowledge (a fixed-size announcement — the price of
+// adaptivity), then ships only stored entries as (index, value) pairs over
+// the same two-hop relay. The schedule is a function of the *declared*
+// profile alone, so measured == plan stays CC_CHECKable; the announcement
+// also lets the backends below price both branches and take the cheaper one.
+//
+// Measured: sparse vs dense bits/rounds across a density sweep at fixed n
+// (the crossover made visible); the four-cycle count with dense / sparse /
+// auto backends (identical counts, auto flipping with density); adaptive
+// APSP squarings densifying from the sparse branch to the dense one; and
+// edge-list -> CSR workload construction at n far beyond the dense cap.
+#include "bench_util.h"
+#include "comm/clique_unicast.h"
+#include "core/algebraic_mm.h"
+#include "core/apsp.h"
+#include "core/sparse_mm.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+#include "linalg/kernels.h"
+#include "linalg/sparse.h"
+#include "util/rng.h"
+
+using namespace cclique;
+using benchutil::Table;
+using benchutil::cell;
+using benchutil::kD;
+using benchutil::kM;
+using benchutil::kP;
+
+int main(int argc, char** argv) {
+  benchutil::init(argc, argv);
+  benchutil::banner(
+      "E19: sparse & sharded matrix substrate — nnz-declared schedules",
+      "announce the per-block nnz profile once, then ship only stored "
+      "(index, value) pairs over the E17 relay; below the density crossover "
+      "the sparse schedule beats the dense oblivious plan, and the counting/"
+      "APSP backends route through whichever branch prices cheaper");
+  Rng rng(19);
+
+  // --- Density sweep at fixed n: one sparse product vs the dense plan.
+  // Every row's measured rounds/bits are CC_CHECKed against the declared-
+  // profile plan inside run_sparse_mm; here we surface the crossover the
+  // backends below decide by. "sparse/dense" < 1 means the sparse branch
+  // wins even after paying its announcement.
+  const int n = 125;
+  Table sw({"n", "density", "nnz", "rounds", "bits", "announce bits",
+            "dense bits", "ok", "sparse/dense", "preferred"},
+           {kP, kP, kM, kM, kM, kM, kM, kM, kD, kD});
+  for (double d : benchutil::grid<double>({0.02, 0.1, 0.3, 0.6, 0.9, 1.0})) {
+    Mat61 a(n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (d >= 1.0 || rng.uniform_double() < d) {
+          a.set(i, j, 1 + rng.uniform(Mersenne61::kP - 1));
+        }
+      }
+    }
+    const Csr61 sa = Csr61::from_dense(a);
+    CliqueUnicast net(n, 64);
+    Mat61 c;
+    const SparseMmResult r = sparse_mm_m61(net, sa, sa, &c);
+    const bool ok = c == m61_multiply_schoolbook(a, a);
+    sw.add_row(
+        {cell("%d", n), cell("%.2f", d),
+         cell("%llu", static_cast<unsigned long long>(r.plan.a_nnz)),
+         cell("%d", r.total_rounds),
+         cell("%llu", static_cast<unsigned long long>(r.total_bits)),
+         cell("%llu", static_cast<unsigned long long>(r.plan.announce_bits)),
+         cell("%llu", static_cast<unsigned long long>(r.plan.dense_bits)),
+         ok ? "yes" : "NO",
+         cell("%.3f", static_cast<double>(r.total_bits) /
+                          static_cast<double>(r.plan.dense_bits)),
+         sparse_backend_preferred(r.plan) ? "sparse" : "dense"});
+  }
+  sw.print();
+  std::printf("a stored entry costs index_bits + 61 vs 61 on the dense path,\n"
+              "so fully dense input strictly loses; the win at low density is\n"
+              "the distribution phase shrinking with nnz while announcement\n"
+              "and the (fill-in-unpriceable) aggregation stay fixed.\n\n");
+
+  // --- Backend-routed four-cycle counting: all three backends agree with
+  // the centralized count; kAuto takes the sparse branch on sparse inputs
+  // and pays only the announcement extra to fall back on dense ones.
+  Table fc({"graph", "n", "backend", "count", "rounds", "bits", "ok",
+            "used"},
+           {kP, kP, kP, kM, kM, kM, kM, kD});
+  for (int nn : benchutil::grid({32, 64})) {
+    struct Inst {
+      std::string name;
+      Graph g;
+    };
+    const Inst insts[] = {{cell("gnp_%d_sparse", nn), gnp(nn, 3.0 / nn, rng)},
+                          {cell("K_%d", nn), complete_graph(nn)}};
+    for (const Inst& inst : insts) {
+      const std::uint64_t truth = count_four_cycles(inst.g);
+      for (CountBackend backend :
+           {CountBackend::kDense, CountBackend::kSparse, CountBackend::kAuto}) {
+        const char* bname = backend == CountBackend::kDense    ? "dense"
+                            : backend == CountBackend::kSparse ? "sparse"
+                                                               : "auto";
+        CliqueUnicast net(nn, 64);
+        const AlgebraicCountResult r =
+            four_cycle_count_algebraic(net, inst.g, backend);
+        fc.add_row({inst.name, cell("%d", nn), bname,
+                    cell("%llu", static_cast<unsigned long long>(r.count)),
+                    cell("%d", r.total_rounds),
+                    cell("%llu",
+                         static_cast<unsigned long long>(net.stats().total_bits)),
+                    r.count == truth ? "yes" : "NO",
+                    r.used_sparse ? "sparse" : "dense"});
+      }
+    }
+  }
+  fc.print();
+  std::printf("kAuto's choice is made from the announced profile, so it is\n"
+              "common knowledge before any payload moves; the dense fallback\n"
+              "rows price the announcement on top of the E17 schedule.\n\n");
+
+  // --- Adaptive APSP: distance matrices densify under min-plus squaring,
+  // so a sparse instance starts on the sparse branch and crosses to dense
+  // once fill-in closes the neighborhood growth. "schedule" spells out the
+  // per-squaring branch choices in order.
+  Table ap({"graph", "n", "sq", "schedule", "rounds", "bits", "ok",
+            "dense-run bits"},
+           {kP, kP, kM, kD, kM, kM, kM, kD});
+  for (int nn : benchutil::grid({64, 125})) {
+    struct Inst {
+      std::string name;
+      Graph g;
+    };
+    const Inst insts[] = {{cell("tree_%d", nn), random_tree(nn, rng)},
+                          {cell("gnp_%d", nn), gnp(nn, 3.0 / nn, rng)}};
+    for (const Inst& inst : insts) {
+      std::vector<std::uint32_t> w(inst.g.num_edges());
+      for (auto& x : w) x = static_cast<std::uint32_t>(rng.uniform(1 << 12));
+      CliqueUnicast net(nn, 64);
+      const ApspSparseResult r = apsp_run_sparse(net, inst.g, w);
+      const bool ok = r.dist == apsp_dijkstra_reference(inst.g, w);
+      std::string schedule;
+      for (const ApspSparseStep& s : r.steps) {
+        schedule += s.used_sparse ? 'S' : 'D';
+      }
+      CliqueUnicast net_dense(nn, 64);
+      const ApspResult rd = apsp_run(net_dense, inst.g, w);
+      const bool dense_ok = r.dist == rd.dist;
+      ap.add_row({inst.name, cell("%d", nn),
+                  cell("%zu", r.steps.size()), schedule,
+                  cell("%d", r.total_rounds),
+                  cell("%llu", static_cast<unsigned long long>(r.total_bits)),
+                  (ok && dense_ok) ? "yes" : "NO",
+                  cell("%llu",
+                       static_cast<unsigned long long>(rd.total_bits))});
+    }
+  }
+  ap.print();
+  std::printf("S = sparse branch, D = dense branch, in squaring order: the\n"
+              "prefix of S's is the regime where the current power's nnz\n"
+              "keeps the declared schedule under the dense plan.\n\n");
+
+  // --- Workload scale: G(n, p) straight to CSR at n far beyond the dense
+  // cap (a dense Mat61 at n = 40000 would be ~12 GB), and one local
+  // sparse·sparse product (A² — the two-hop neighborhood) to show the
+  // substrate computes on what it stores. Deterministic entry counts, no
+  // wall-clock.
+  Table ws({"n", "p", "edges", "csr nnz", "A^2 nnz", "fill"},
+           {kP, kP, kM, kM, kM, kD});
+  for (int nn : benchutil::grid({10000, 40000})) {
+    const double p = 8.0 / nn;
+    const std::vector<Edge> edges = gnp_edges(nn, p, rng);
+    const Csr61 adj = Csr61::from_edges(nn, edges);
+    const Csr61 sq = csr_multiply_csr_dispatch(adj, adj);
+    ws.add_row({cell("%d", nn), cell("%.6f", p), cell("%zu", edges.size()),
+                cell("%zu", adj.nnz()), cell("%zu", sq.nnz()),
+                cell("%.2f", static_cast<double>(sq.nnz()) /
+                                 static_cast<double>(adj.nnz()))});
+  }
+  ws.print();
+  std::printf("gnp_edges samples present edges only (Batagelj-Brandes), so\n"
+              "the pipeline is O(n + m) end to end — the dense substrate\n"
+              "cannot even materialize these instances.\n");
+  return benchutil::finish();
+}

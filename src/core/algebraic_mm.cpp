@@ -112,6 +112,23 @@ AlgebraicMmResult algebraic_mm_m61(CliqueUnicast& net, const Mat61& a,
   return run_mm<M61Ops>(net, a, b, c);
 }
 
+AlgebraicMmPlan sharded_mm_plan(int n, int word_bits, int bandwidth,
+                                const blockmm::ShardLayout& layout) {
+  oblivious::SinkScope sink(CC_OBLIVIOUS_SITE("sharded_mm_plan"));
+  AlgebraicMmPlan plan;
+  blockmm::fill_plan_schedule(&plan, n, word_bits, bandwidth, layout);
+  return plan;
+}
+
+AlgebraicMmResult algebraic_mm_m61_sharded(CliqueUnicast& net, const Mat61& a,
+                                           const Mat61& b, Mat61* c,
+                                           const blockmm::ShardLayout& layout) {
+  const AlgebraicMmPlan plan =
+      sharded_mm_plan(a.n(), M61Ops::kWordBits, net.bandwidth(), layout);
+  return blockmm::run_block_mm<M61Ops, AlgebraicMmResult>(net, a, b, c, plan,
+                                                          layout);
+}
+
 AlgebraicCountResult triangle_count_algebraic(CliqueUnicast& net, const Graph& g) {
   const int n = g.num_vertices();
   CC_REQUIRE(net.n() == n, "one player per vertex");
@@ -139,14 +156,36 @@ AlgebraicCountResult triangle_count_algebraic(CliqueUnicast& net, const Graph& g
   return out;
 }
 
-AlgebraicCountResult four_cycle_count_algebraic(CliqueUnicast& net, const Graph& g) {
+AlgebraicCountResult four_cycle_count_algebraic(CliqueUnicast& net, const Graph& g,
+                                                CountBackend backend) {
   const int n = g.num_vertices();
   CC_REQUIRE(net.n() == n, "one player per vertex");
   CC_REQUIRE(n >= 1 && n <= (1 << 15), "exact counting needs trace(A^4) < 2^61");
   const Mat61 a = Mat61::adjacency(g);
   Mat61 a2;
   AlgebraicCountResult out;
-  out.mm = algebraic_mm_m61(net, a, a, &a2);
+  int mm_rounds = 0;
+  if (backend == CountBackend::kDense) {
+    out.mm = algebraic_mm_m61(net, a, a, &a2);
+    mm_rounds = out.mm.total_rounds;
+  } else {
+    const Csr61 sa = Csr61::from_dense(a);
+    const SparseNnzProfile profile = declared_nnz_profile(sa, sa);
+    const SparseMmPlan splan =
+        sparse_mm_plan(n, /*word_bits=*/61, net.bandwidth(), profile);
+    out.used_sparse =
+        backend == CountBackend::kSparse || sparse_backend_preferred(splan);
+    if (out.used_sparse) {
+      out.sparse_mm = sparse_mm_m61(net, sa, sa, &a2);
+      mm_rounds = out.sparse_mm.total_rounds;
+    } else {
+      // kAuto chose dense: the decision itself consumed the announcement,
+      // then the oblivious schedule runs unchanged.
+      out.announce_rounds = run_nnz_announcement(net, profile, splan.count_bits);
+      out.mm = algebraic_mm_m61(net, a, a, &a2);
+      mm_rounds = out.announce_rounds + out.mm.total_rounds;
+    }
+  }
 
   // trace(A^4) = sum_v ||row_v(A^2)||^2 (A^2 is symmetric); each player also
   // contributes deg(v)^2 and deg(v) for the degenerate-walk correction
@@ -177,7 +216,7 @@ AlgebraicCountResult four_cycle_count_algebraic(CliqueUnicast& net, const Graph&
   const std::uint64_t numerator = trace4 + twice_edges - 2 * sum_deg2;
   CC_CHECK(numerator % 8 == 0, "trace identity must yield 8 * #C4");
   out.count = numerator / 8;
-  out.total_rounds = out.mm.total_rounds + out.share_rounds;
+  out.total_rounds = mm_rounds + out.share_rounds;
   return out;
 }
 

@@ -37,11 +37,16 @@
 #include <cstdint>
 
 #include "comm/clique_unicast.h"
+#include "core/sparse_mm.h"
 #include "graph/graph.h"
 #include "linalg/f2matrix.h"
 #include "linalg/mat61.h"
 
 namespace cclique {
+
+namespace blockmm {
+class ShardLayout;  // core/block_mm.h — operand-ownership policy
+}
 
 /// The data-independent cost schedule of one distributed product — a pure
 /// function of (n, word_bits, bandwidth), shared by every semiring the
@@ -88,12 +93,44 @@ AlgebraicMmResult algebraic_mm_f2(CliqueUnicast& net, const F2Matrix& a,
 AlgebraicMmResult algebraic_mm_m61(CliqueUnicast& net, const Mat61& a,
                                    const Mat61& b, Mat61* c);
 
+/// Schedule for a product whose operands/outputs live under an arbitrary
+/// common-knowledge shard layout (core/block_mm.h): same [m]^3 grid and
+/// relay, but every payload length is priced from the layout's per-entry
+/// ownership instead of whole rows. sharded_mm_plan(n, w, b, RowShardLayout)
+/// == algebraic_mm_plan(n, w, b) exactly.
+AlgebraicMmPlan sharded_mm_plan(int n, int word_bits, int bandwidth,
+                                const blockmm::ShardLayout& layout);
+
+/// Distributed C = A·B over F_{2^61-1} with operands/outputs owned per
+/// `layout` (e.g. blockmm::BlockShardLayout — O(n^2/p) words per player,
+/// no whole rows anywhere). Values are identical to algebraic_mm_m61;
+/// rounds/bits follow sharded_mm_plan and are CC_CHECKed against it.
+AlgebraicMmResult algebraic_mm_m61_sharded(CliqueUnicast& net, const Mat61& a,
+                                           const Mat61& b, Mat61* c,
+                                           const blockmm::ShardLayout& layout);
+
+/// Which distributed-product backend a counting protocol runs its A·A
+/// product through.
+enum class CountBackend {
+  kDense,   ///< the oblivious dense schedule, unconditionally (the PR 3
+            ///< behavior — and the one every committed baseline measures)
+  kSparse,  ///< the nnz-declared sparse schedule, unconditionally
+  kAuto,    ///< announce the nnz profile, then take whichever branch the
+            ///< crossover rule (sparse_backend_preferred) prices cheaper
+};
+
 /// Outcome of an exact counting protocol (triangles or 4-cycles).
 struct AlgebraicCountResult {
   std::uint64_t count = 0;
-  AlgebraicMmResult mm;   ///< the distributed A·A product behind the count
+  AlgebraicMmResult mm;   ///< the dense A·A product (when !used_sparse)
+  SparseMmResult sparse_mm;  ///< the sparse A·A product (when used_sparse)
+  bool used_sparse = false;  ///< which branch ran
+  /// Standalone announcement cost — nonzero only when kAuto priced the
+  /// profile and then chose the dense branch (the sparse branch's
+  /// announcement is inside sparse_mm).
+  int announce_rounds = 0;
   int share_rounds = 0;   ///< final 61-bit partial-sum exchange
-  int total_rounds = 0;   ///< mm.total_rounds + share_rounds
+  int total_rounds = 0;   ///< product (+ announcement) + share_rounds
 };
 
 /// Exact number of triangles of g via diag(A³) over F_{2^61-1}:
@@ -104,7 +141,13 @@ AlgebraicCountResult triangle_count_algebraic(CliqueUnicast& net, const Graph& g
 
 /// Exact number of 4-cycles of g via trace(A⁴) = Σ_v ‖row_v(A²)‖² and the
 /// degree statistics: #C₄ = (trace(A⁴) − 2·Σ_v deg(v)² + 2|E|) / 8.
-/// Requires n <= 2^15 (trace(A⁴) <= n^4 < p).
-AlgebraicCountResult four_cycle_count_algebraic(CliqueUnicast& net, const Graph& g);
+/// Requires n <= 2^15 (trace(A⁴) <= n^4 < p). The count is
+/// backend-independent; kDense (the default) reproduces the committed
+/// baseline schedule bit-for-bit, kAuto routes the product through the
+/// sparse schedule when the graph's density is below the crossover
+/// (core/sparse_mm.h).
+AlgebraicCountResult four_cycle_count_algebraic(
+    CliqueUnicast& net, const Graph& g,
+    CountBackend backend = CountBackend::kDense);
 
 }  // namespace cclique

@@ -8,6 +8,7 @@
 #include "analysis/locality_guard.h"
 #include "analysis/oblivious_guard.h"
 #include "core/block_mm.h"
+#include "core/sparse_mm.h"
 #include "linalg/kernels.h"
 #include "util/math_util.h"
 
@@ -95,6 +96,15 @@ MinPlusResult min_plus_mm(CliqueUnicast& net, const TropicalMat& a,
   return run_product(net, a, b, c, kernel, plan);
 }
 
+MinPlusResult min_plus_mm_sharded(CliqueUnicast& net, const TropicalMat& a,
+                                  const TropicalMat& b, TropicalMat* c,
+                                  const blockmm::ShardLayout& layout) {
+  const AlgebraicMmPlan plan =
+      sharded_mm_plan(a.n(), /*word_bits=*/61, net.bandwidth(), layout);
+  return blockmm::run_block_mm<TropicalOpsBlocked, MinPlusResult>(net, a, b, c,
+                                                                  plan, layout);
+}
+
 ApspResult apsp_run(CliqueUnicast& net, const Graph& g,
                     const std::vector<std::uint32_t>& weights,
                     TropicalKernel kernel) {
@@ -167,6 +177,52 @@ ApspResult apsp_run(CliqueUnicast& net, const Graph& g,
            "APSP rounds diverged from the planned schedule");
   CC_CHECK(out.total_bits == out.plan.total_bits,
            "APSP bits diverged from the planned schedule");
+  return out;
+}
+
+ApspSparseResult apsp_run_sparse(CliqueUnicast& net, const Graph& g,
+                                 const std::vector<std::uint32_t>& weights) {
+  const int n = g.num_vertices();
+  CC_REQUIRE(n >= 1, "need at least one vertex");
+  CC_REQUIRE(net.n() == n, "one player per vertex");
+
+  ApspSparseResult out;
+  const int rounds_before = net.stats().rounds;
+  const std::uint64_t bits_before = net.stats().total_bits;
+  const int squarings =
+      n >= 2 ? ceil_log2(static_cast<std::uint64_t>(n) - 1) : 0;
+
+  out.dist = TropicalMat::from_weighted_graph(g, weights);
+  out.steps.reserve(static_cast<std::size_t>(squarings));
+  for (int s = 0; s < squarings; ++s) {
+    // Re-sparsify and re-declare each squaring: D_s's finite entries are
+    // this round's explicit structure, so the crossover is priced against
+    // the *current* fill, not the input graph's.
+    const int step_rounds_before = net.stats().rounds;
+    const Csr61 cur = Csr61::from_dense(out.dist);
+    const SparseNnzProfile profile = declared_nnz_profile(cur, cur);
+    const SparseMmPlan plan =
+        sparse_mm_plan(n, /*word_bits=*/61, net.bandwidth(), profile);
+    ApspSparseStep step;
+    step.declared_nnz = plan.a_nnz;
+    step.dense_bits = plan.dense_bits;
+    TropicalMat next;
+    if (sparse_backend_preferred(plan)) {
+      const SparseMmResult r = sparse_min_plus_mm(net, cur, cur, &next);
+      step.used_sparse = true;
+      step.planned_bits = r.plan.total_bits;
+    } else {
+      run_nnz_announcement(net, profile, plan.count_bits);
+      const MinPlusResult r = min_plus_mm(net, out.dist, out.dist, &next);
+      step.planned_bits = plan.announce_bits + r.plan.total_bits;
+    }
+    step.rounds = net.stats().rounds - step_rounds_before;
+    out.dist = std::move(next);
+    out.steps.push_back(step);
+  }
+
+  out.total_rounds = net.stats().rounds - rounds_before;
+  out.total_bits = net.stats().total_bits - bits_before;
   return out;
 }
 

@@ -83,6 +83,14 @@ MinPlusResult min_plus_mm(CliqueUnicast& net, const TropicalMat& a,
                           const TropicalMat& b, TropicalMat* c,
                           TropicalKernel kernel = TropicalKernel::kBlocked);
 
+/// Distance product with operands/outputs owned per `layout`
+/// (core/block_mm.h) — the tropical twin of algebraic_mm_m61_sharded.
+/// Values match min_plus_mm; rounds/bits follow sharded_mm_plan(n, 61, b,
+/// layout) and are CC_CHECKed against it.
+MinPlusResult min_plus_mm_sharded(CliqueUnicast& net, const TropicalMat& a,
+                                  const TropicalMat& b, TropicalMat* c,
+                                  const blockmm::ShardLayout& layout);
+
 /// Outcome of the APSP protocol.
 struct ApspResult {
   ApspPlan plan;
@@ -109,6 +117,37 @@ struct ApspResult {
 ApspResult apsp_run(CliqueUnicast& net, const Graph& g,
                     const std::vector<std::uint32_t>& weights,
                     TropicalKernel kernel = TropicalKernel::kBlocked);
+
+/// One squaring of the adaptive sparse APSP run.
+struct ApspSparseStep {
+  bool used_sparse = false;      ///< which branch the crossover picked
+  std::uint64_t declared_nnz = 0;  ///< finite entries of D_s (the profile's a_nnz)
+  std::uint64_t planned_bits = 0;  ///< chosen branch's planned bits (announcement included)
+  std::uint64_t dense_bits = 0;    ///< the oblivious schedule's bits, for reference
+  int rounds = 0;                  ///< measured rounds of this squaring
+};
+
+/// Outcome of the adaptive sparse APSP run (distances only — the
+/// eccentricity exchange is identical to apsp_run's and orthogonal to the
+/// backend question).
+struct ApspSparseResult {
+  TropicalMat dist;  ///< exact distances, identical to apsp_run's
+  std::vector<ApspSparseStep> steps;  ///< one per squaring
+  int total_rounds = 0;
+  std::uint64_t total_bits = 0;
+};
+
+/// Repeated distance-product squaring where every squaring re-declares the
+/// current matrix's nnz profile (core/sparse_mm.h) and routes through the
+/// sparse schedule iff the crossover rule prices it cheaper — distance
+/// matrices *densify* as powers close the graph's transitive closure, so a
+/// typical sparse input starts on the sparse branch and crosses to dense
+/// once fill-in wins. Distances are identical to apsp_run's; every product
+/// is still CC_CHECKed against its own (dense or sparse) plan, and the
+/// dense branch additionally pays the announcement that made the decision
+/// common knowledge.
+ApspSparseResult apsp_run_sparse(CliqueUnicast& net, const Graph& g,
+                                 const std::vector<std::uint32_t>& weights);
 
 /// Reference single-machine APSP: one Dijkstra per source over an
 /// adjacency-indexed weight table (non-negative weights; zero-weight edges

@@ -1,0 +1,224 @@
+#include "core/sparse_mm.h"
+
+#include <vector>
+
+#include "core/algebraic_mm.h"
+#include "linalg/kernels.h"
+
+namespace cclique {
+
+SparseNnzProfile declared_nnz_profile(const Csr61& a, const Csr61& b) {
+  CC_REQUIRE(a.n() == b.n(), "size mismatch");
+  const int n = a.n();
+  const blockmm::BlockGrid g(n);
+  SparseNnzProfile prof;
+  prof.n = n;
+  prof.grid = g.m;
+  prof.a_block_nnz.assign(
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(g.m), 0);
+  prof.b_block_nnz.assign(
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(g.m), 0);
+  // This is the sanctioned tainted->plain boundary (DESIGN.md §2.8): the
+  // sparse schedule legitimately depends on the operands' sparsity
+  // structure, so the structure reads happen under an explicit declaration
+  // — the guard counts them (declared_use_count) instead of throwing, and
+  // the announcement phase makes the resulting profile common knowledge
+  // before any nnz-dependent payload moves.
+  oblivious::SinkScope sink(CC_OBLIVIOUS_SITE("declared_nnz_profile"));
+  [[maybe_unused]] auto dd = oblivious::declared_dependence(
+      CC_OBLIVIOUS_SITE("sparse schedule depends on announced nnz counts"));
+  const std::size_t* arp = a.row_ptr();
+  const int* acols = a.cols();
+  const std::size_t* brp = b.row_ptr();
+  const int* bcols = b.cols();
+  for (int v = 0; v < n; ++v) {
+    for (std::size_t e = arp[v]; e < arp[v + 1]; ++e) {
+      const int k = acols[e] / g.bs;
+      ++prof.a_block_nnz[static_cast<std::size_t>(v) * static_cast<std::size_t>(g.m) +
+                         static_cast<std::size_t>(k)];
+    }
+    for (std::size_t e = brp[v]; e < brp[v + 1]; ++e) {
+      const int j = bcols[e] / g.bs;
+      ++prof.b_block_nnz[static_cast<std::size_t>(v) * static_cast<std::size_t>(g.m) +
+                         static_cast<std::size_t>(j)];
+    }
+  }
+  prof.a_nnz = static_cast<std::uint64_t>(a.nnz());
+  prof.b_nnz = static_cast<std::uint64_t>(b.nnz());
+  return prof;
+}
+
+SparseMmPlan sparse_mm_plan(int n, int word_bits, int bandwidth,
+                            const SparseNnzProfile& profile) {
+  // Plan-function sink: the schedule is a function of (n, w, b) and the
+  // *declared* profile alone — plain integers, no CSR structure reads here.
+  oblivious::SinkScope sink(CC_OBLIVIOUS_SITE("sparse_mm_plan"));
+  CC_REQUIRE(word_bits >= 1 && word_bits <= 64, "word width out of range");
+  CC_REQUIRE(bandwidth >= 1, "bandwidth must be positive");
+  const blockmm::BlockGrid g(n);
+  const int m = g.m;
+  CC_REQUIRE(profile.n == n && profile.grid == m,
+             "profile built for another grid");
+  CC_REQUIRE(profile.a_block_nnz.size() ==
+                     static_cast<std::size_t>(n) * static_cast<std::size_t>(m) &&
+                 profile.b_block_nnz.size() == profile.a_block_nnz.size(),
+             "profile table size mismatch");
+  SparseMmPlan plan;
+  plan.n = n;
+  plan.grid = m;
+  plan.block = g.bs;
+  plan.word_bits = word_bits;
+  plan.index_bits = static_cast<int>(bits_for(static_cast<std::uint64_t>(g.bs)));
+  plan.count_bits =
+      static_cast<int>(bits_for(static_cast<std::uint64_t>(g.bs) + 1));
+  plan.bandwidth = bandwidth;
+  plan.a_nnz = profile.a_nnz;
+  plan.b_nnz = profile.b_nnz;
+
+  // Announcement: one identical 2m-count message per ordered pair.
+  const std::size_t announce_len =
+      2 * static_cast<std::size_t>(m) * static_cast<std::size_t>(plan.count_bits);
+  if (n >= 2) {
+    plan.announce_rounds = static_cast<int>(
+        ceil_div(announce_len, static_cast<std::size_t>(bandwidth)));
+    plan.announce_bits = static_cast<std::uint64_t>(n) *
+                         static_cast<std::uint64_t>(n - 1) *
+                         static_cast<std::uint64_t>(announce_len);
+  }
+
+  // Distribution: row owner v ships, per triple (i, j, k) it serves, its
+  // declared count of (index, value) pairs — index_bits + w bits each.
+  const std::size_t pair_bits =
+      static_cast<std::size_t>(plan.index_bits + word_bits);
+  blockmm::LengthMatrix dist(
+      static_cast<std::size_t>(n),
+      std::vector<std::size_t>(static_cast<std::size_t>(n), 0));
+  for (int p = 0; p < g.triples(); ++p) {
+    const int i = g.ti(p), j = g.tj(p), k = g.tk(p);
+    for (int v = g.lo(i); v < g.hi(i); ++v) {
+      if (v == p) continue;
+      dist[static_cast<std::size_t>(v)][static_cast<std::size_t>(p)] +=
+          profile.a_block_nnz[static_cast<std::size_t>(v) * static_cast<std::size_t>(m) +
+                              static_cast<std::size_t>(k)] *
+          pair_bits;
+    }
+    for (int v = g.lo(k); v < g.hi(k); ++v) {
+      if (v == p) continue;
+      dist[static_cast<std::size_t>(v)][static_cast<std::size_t>(p)] +=
+          profile.b_block_nnz[static_cast<std::size_t>(v) * static_cast<std::size_t>(m) +
+                              static_cast<std::size_t>(j)] *
+          pair_bits;
+    }
+  }
+  const blockmm::RelayCost dc = blockmm::relay_cost(dist, n, bandwidth);
+
+  // Aggregation: dense widths (fill-in makes output structure unpriceable
+  // without a second announcement; see sparse_mm.h).
+  const blockmm::LengthMatrix agg = blockmm::aggregate_lengths(g, word_bits);
+  const blockmm::RelayCost ac = blockmm::relay_cost(agg, n, bandwidth);
+
+  plan.distribute_rounds = dc.rounds;
+  plan.aggregate_rounds = ac.rounds;
+  plan.total_rounds = plan.announce_rounds + dc.rounds + ac.rounds;
+  plan.total_bits = plan.announce_bits + dc.bits + ac.bits;
+  plan.dense_bits = algebraic_mm_plan(n, word_bits, bandwidth).total_bits;
+  return plan;
+}
+
+int run_nnz_announcement(CliqueUnicast& net, const SparseNnzProfile& profile,
+                         int count_bits) {
+  const int n = profile.n;
+  CC_REQUIRE(net.n() == n, "one player per matrix row");
+  const int m = profile.grid;
+  std::vector<std::vector<Message>> payload(
+      static_cast<std::size_t>(n), std::vector<Message>(static_cast<std::size_t>(n)));
+  for (int v = 0; v < n; ++v) {
+    Message msg;
+    for (int t = 0; t < m; ++t) {
+      msg.push_uint(profile.a_block_nnz[static_cast<std::size_t>(v) *
+                                            static_cast<std::size_t>(m) +
+                                        static_cast<std::size_t>(t)],
+                    count_bits);
+    }
+    for (int t = 0; t < m; ++t) {
+      msg.push_uint(profile.b_block_nnz[static_cast<std::size_t>(v) *
+                                            static_cast<std::size_t>(m) +
+                                        static_cast<std::size_t>(t)],
+                    count_bits);
+    }
+    for (int j = 0; j < n; ++j) {
+      if (j == v) continue;
+      payload[static_cast<std::size_t>(v)][static_cast<std::size_t>(j)] = msg;
+    }
+  }
+  std::vector<std::vector<Message>> recv;
+  const int rounds = unicast_payloads(net, payload, &recv);
+  // Player 0's inbox must reproduce the declared profile (cheap
+  // representative of the clique-wide agreement, as in share_partials).
+  for (int v = 1; v < n; ++v) {
+    const Message& msg = recv[0][static_cast<std::size_t>(v)];
+    for (int t = 0; t < 2 * m; ++t) {
+      const std::size_t declared =
+          t < m ? profile.a_block_nnz[static_cast<std::size_t>(v) *
+                                          static_cast<std::size_t>(m) +
+                                      static_cast<std::size_t>(t)]
+                : profile.b_block_nnz[static_cast<std::size_t>(v) *
+                                          static_cast<std::size_t>(m) +
+                                      static_cast<std::size_t>(t - m)];
+      CC_CHECK(msg.read_uint(static_cast<std::size_t>(t) *
+                                 static_cast<std::size_t>(count_bits),
+                             count_bits) == declared,
+               "nnz announcement corrupted a count");
+    }
+  }
+  return rounds;
+}
+
+namespace {
+
+/// Sparse-Ops adapters: the dense block-MM adapters plus the ring tag and
+/// the sparse·dense local kernel (linalg/kernels.h dispatch — CC_KERNEL /
+/// CC_THREADS change wall-clock only, never values or CommStats).
+struct SparseM61Ops {
+  using Matrix = Mat61;
+  static constexpr int kWordBits = 61;
+  static constexpr SparseRing kRing = SparseRing::kM61;
+  static std::uint64_t get(const Matrix& m, int i, int j) { return m.get(i, j); }
+  static void set(Matrix& m, int i, int j, std::uint64_t v) { m.set(i, j, v); }
+  static void accumulate(Matrix& m, int i, int j, std::uint64_t v) { m.add_at(i, j, v); }
+  static Matrix spmm(const Csr61& a, const Matrix& b) {
+    return m61_spmm_dispatch(a, b);
+  }
+};
+
+struct SparseTropicalOps {
+  using Matrix = TropicalMat;
+  static constexpr int kWordBits = 61;
+  static constexpr SparseRing kRing = SparseRing::kTropical;
+  static std::uint64_t get(const Matrix& m, int i, int j) { return m.get(i, j); }
+  static void set(Matrix& m, int i, int j, std::uint64_t v) { m.set(i, j, v); }
+  static void accumulate(Matrix& m, int i, int j, std::uint64_t v) { m.min_at(i, j, v); }
+  static Matrix spmm(const Csr61& a, const Matrix& b) {
+    return tropical_spmm_dispatch(a, b);
+  }
+};
+
+}  // namespace
+
+SparseMmResult sparse_mm_m61(CliqueUnicast& net, const Csr61& a, const Csr61& b,
+                             Mat61* c) {
+  const SparseNnzProfile profile = declared_nnz_profile(a, b);
+  const SparseMmPlan plan =
+      sparse_mm_plan(a.n(), /*word_bits=*/61, net.bandwidth(), profile);
+  return run_sparse_mm<SparseM61Ops>(net, a, b, c, profile, plan);
+}
+
+SparseMmResult sparse_min_plus_mm(CliqueUnicast& net, const Csr61& a,
+                                  const Csr61& b, TropicalMat* c) {
+  const SparseNnzProfile profile = declared_nnz_profile(a, b);
+  const SparseMmPlan plan =
+      sparse_mm_plan(a.n(), /*word_bits=*/61, net.bandwidth(), profile);
+  return run_sparse_mm<SparseTropicalOps>(net, a, b, c, profile, plan);
+}
+
+}  // namespace cclique

@@ -1,6 +1,7 @@
 #include "graph/generators.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 namespace cclique {
@@ -50,6 +51,35 @@ Graph gnp(int n, double p, Rng& rng) {
     }
   }
   return g;
+}
+
+std::vector<Edge> gnp_edges(int n, double p, Rng& rng) {
+  CC_REQUIRE(n >= 0, "negative vertex count");
+  std::vector<Edge> edges;
+  if (n < 2 || p <= 0.0) return edges;
+  if (p >= 1.0) {
+    for (int v = 1; v < n; ++v) {
+      for (int u = 0; u < v; ++u) edges.push_back(Edge(u, v));
+    }
+    return edges;
+  }
+  // Batagelj & Brandes (2005): walk the pairs (w, v), w < v, in order of
+  // larger endpoint, jumping geometric(p) gaps so only present edges cost
+  // work. One uniform draw per edge (plus one final miss).
+  const double log_q = std::log1p(-p);
+  int v = 1;
+  std::int64_t w = -1;
+  while (v < n) {
+    const double r = rng.uniform_double();
+    // skip ~ Geometric(p): floor(log(1-r) / log(1-p)) pairs absent in a row
+    w += 1 + static_cast<std::int64_t>(std::floor(std::log1p(-r) / log_q));
+    while (v < n && w >= v) {
+      w -= v;
+      ++v;
+    }
+    if (v < n) edges.push_back(Edge(static_cast<int>(w), v));
+  }
+  return edges;
 }
 
 Graph gnm(int n, std::size_t m, Rng& rng) {

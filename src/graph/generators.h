@@ -24,6 +24,15 @@ Graph complete_bipartite(int a, int b);
 /// Erdős–Rényi G(n, p): each edge present independently with probability p.
 Graph gnp(int n, double p, Rng& rng);
 
+/// G(n, p) as a bare edge list, without materializing a Graph (no O(n^2)
+/// adjacency bitsets): Batagelj–Brandes geometric skipping visits only the
+/// present edges, so sampling costs O(n + m) — the entry point for sparse
+/// workloads at n beyond the dense cap (pairs with Csr61::from_edges).
+/// Edges come out canonical (u < v), sorted by larger endpoint then
+/// smaller. Note the sampling path differs from gnp's per-pair Bernoulli
+/// scan, so the two draw different graphs from the same seed.
+std::vector<Edge> gnp_edges(int n, double p, Rng& rng);
+
 /// Uniform G(n, m): exactly m distinct edges chosen uniformly.
 Graph gnm(int n, std::size_t m, Rng& rng);
 

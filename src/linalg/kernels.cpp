@@ -191,4 +191,243 @@ TropicalMat tropical_multiply_dispatch(const TropicalMat& a, const TropicalMat& 
   return tropical_multiply_kernel(a, b, active_kernel(), dispatch_threads(a.n()));
 }
 
+// ----------------------------------------------------------- sparse kernels
+
+void m61_spmm_rows_scalar(const std::size_t* row_ptr, const int* cols,
+                          const std::uint64_t* vals, const std::uint64_t* b,
+                          std::uint64_t* c, int n, int i0, int i1) {
+  // Same overflow argument as the dense kernel: 32 products of reduced
+  // elements sum below 2^127, so fold once per 32 stored entries.
+  constexpr std::size_t kPanel = 32;
+  std::vector<__uint128_t> acc(static_cast<std::size_t>(n));
+  for (int i = i0; i < i1; ++i) {
+    for (auto& e : acc) e = 0;
+    const std::size_t lo = row_ptr[i], hi = row_ptr[i + 1];
+    for (std::size_t e0 = lo; e0 < hi; e0 += kPanel) {
+      const std::size_t e1 = e0 + kPanel < hi ? e0 + kPanel : hi;
+      for (std::size_t e = e0; e < e1; ++e) {
+        const std::uint64_t aik = vals[e];
+        const std::uint64_t* brow =
+            b + static_cast<std::size_t>(cols[e]) * static_cast<std::size_t>(n);
+        for (int j = 0; j < n; ++j) {
+          acc[static_cast<std::size_t>(j)] +=
+              static_cast<__uint128_t>(aik) * brow[j];
+        }
+      }
+      for (int j = 0; j < n; ++j) {
+        acc[static_cast<std::size_t>(j)] =
+            Mersenne61::reduce128(acc[static_cast<std::size_t>(j)]);
+      }
+    }
+    std::uint64_t* crow = c + static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
+    for (int j = 0; j < n; ++j) {
+      crow[j] = static_cast<std::uint64_t>(acc[static_cast<std::size_t>(j)]);
+    }
+  }
+}
+
+void tropical_spmm_rows_scalar(const std::size_t* row_ptr, const int* cols,
+                               const std::uint64_t* vals, const std::uint64_t* b,
+                               std::uint64_t* c, int n, int i0, int i1) {
+  for (int i = i0; i < i1; ++i) {
+    std::uint64_t* crow = c + static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
+    for (int j = 0; j < n; ++j) crow[j] = kTropicalInf;
+    for (std::size_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
+      const std::uint64_t aik = vals[e];  // finite by CSR construction
+      const std::uint64_t* brow =
+          b + static_cast<std::size_t>(cols[e]) * static_cast<std::size_t>(n);
+      for (int j = 0; j < n; ++j) {
+        // aik < kInf and brow[j] <= kInf, so the raw sum never wraps, and a
+        // sum >= kInf can never undercut an accumulator <= kInf (the dense
+        // kernel's saturating-min argument).
+        const std::uint64_t cand = aik + brow[j];
+        if (cand < crow[j]) crow[j] = cand;
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Static row partition for the sparse kernels — identical arithmetic to
+/// run_rows, generalized to any row closure.
+template <typename RowsFn>
+void run_row_ranges(int n, int threads, const RowsFn& fn) {
+  CC_REQUIRE(threads >= 1, "kernel thread count must be >= 1");
+  if (threads > n) threads = n;
+  if (threads <= 1) {
+    fn(0, n);
+    return;
+  }
+  shared_thread_pool(threads)->run_indexed(threads, [&](int t) {
+    const int i0 = static_cast<int>(static_cast<std::int64_t>(n) * t / threads);
+    const int i1 =
+        static_cast<int>(static_cast<std::int64_t>(n) * (t + 1) / threads);
+    if (i0 < i1) fn(i0, i1);
+  });
+}
+
+}  // namespace
+
+Mat61 m61_spmm_kernel(const Csr61& a, const Mat61& b, int threads) {
+  CC_REQUIRE(a.ring() == SparseRing::kM61, "sparse operand is not over F_{2^61-1}");
+  CC_REQUIRE(a.n() == b.n(), "size mismatch");
+  Mat61 out(a.n());
+  if (a.n() == 0) return out;
+  const std::size_t* rp = a.row_ptr();
+  const int* cols = a.cols();
+  const std::uint64_t* vals = a.vals();
+  const std::uint64_t* bd = b.data();
+  std::uint64_t* cd = out.mutable_data();
+  const int n = a.n();
+  run_row_ranges(n, threads, [&](int i0, int i1) {
+    m61_spmm_rows_scalar(rp, cols, vals, bd, cd, n, i0, i1);
+  });
+  return out;
+}
+
+TropicalMat tropical_spmm_kernel(const Csr61& a, const TropicalMat& b, int threads) {
+  CC_REQUIRE(a.ring() == SparseRing::kTropical, "sparse operand is not tropical");
+  CC_REQUIRE(a.n() == b.n(), "size mismatch");
+  TropicalMat out(a.n());
+  if (a.n() == 0) return out;
+  const std::size_t* rp = a.row_ptr();
+  const int* cols = a.cols();
+  const std::uint64_t* vals = a.vals();
+  const std::uint64_t* bd = b.data();
+  std::uint64_t* cd = out.mutable_data();
+  const int n = a.n();
+  run_row_ranges(n, threads, [&](int i0, int i1) {
+    tropical_spmm_rows_scalar(rp, cols, vals, bd, cd, n, i0, i1);
+  });
+  return out;
+}
+
+Mat61 m61_spmm_dispatch(const Csr61& a, const Mat61& b) {
+  return m61_spmm_kernel(a, b, dispatch_threads(a.n()));
+}
+
+TropicalMat tropical_spmm_dispatch(const Csr61& a, const TropicalMat& b) {
+  return tropical_spmm_kernel(a, b, dispatch_threads(a.n()));
+}
+
+namespace {
+
+/// One thread's slice of the Gustavson product: rows [i0, i1) of A*B as a
+/// local (row_nnz, cols, vals) triple, concatenated in row order afterwards
+/// — the output is a pure function of the rows, so the thread count never
+/// changes a bit of it.
+struct CsrSlice {
+  std::vector<std::size_t> row_nnz;
+  std::vector<int> cols;
+  std::vector<std::uint64_t> vals;
+};
+
+template <typename Accumulate, typename Keep>
+void gustavson_rows(const Csr61& a, const Csr61& b, int i0, int i1,
+                    std::uint64_t init, const Accumulate& accumulate,
+                    const Keep& keep, CsrSlice* out) {
+  const int n = a.n();
+  const std::size_t* arp = a.row_ptr();
+  const int* acols = a.cols();
+  const std::uint64_t* avals = a.vals();
+  const std::size_t* brp = b.row_ptr();
+  const int* bcols = b.cols();
+  const std::uint64_t* bvals = b.vals();
+  std::vector<std::uint64_t> acc(static_cast<std::size_t>(n), init);
+  std::vector<int> touched;
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  for (int i = i0; i < i1; ++i) {
+    touched.clear();
+    for (std::size_t e = arp[i]; e < arp[i + 1]; ++e) {
+      const std::uint64_t aik = avals[e];
+      const int k = acols[e];
+      for (std::size_t f = brp[k]; f < brp[k + 1]; ++f) {
+        const int j = bcols[f];
+        if (!seen[static_cast<std::size_t>(j)]) {
+          seen[static_cast<std::size_t>(j)] = 1;
+          touched.push_back(j);
+        }
+        std::uint64_t& slot = acc[static_cast<std::size_t>(j)];
+        slot = accumulate(slot, aik, bvals[f]);
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    std::size_t kept = 0;
+    for (int j : touched) {
+      const std::uint64_t v = acc[static_cast<std::size_t>(j)];
+      if (keep(v)) {
+        out->cols.push_back(j);
+        out->vals.push_back(v);
+        ++kept;
+      }
+      acc[static_cast<std::size_t>(j)] = init;
+      seen[static_cast<std::size_t>(j)] = 0;
+    }
+    out->row_nnz.push_back(kept);
+  }
+}
+
+}  // namespace
+
+Csr61 csr_multiply_csr_kernel(const Csr61& a, const Csr61& b, int threads) {
+  CC_REQUIRE(a.n() == b.n(), "size mismatch");
+  CC_REQUIRE(a.ring() == b.ring(), "mixed-ring sparse product");
+  CC_REQUIRE(threads >= 1, "kernel thread count must be >= 1");
+  const int n = a.n();
+  if (threads > n) threads = n;
+  if (threads < 1) threads = 1;  // n == 0
+  std::vector<CsrSlice> slices(static_cast<std::size_t>(threads > 0 ? threads : 1));
+  auto run_slice = [&](int t, int i0, int i1) {
+    CsrSlice* out = &slices[static_cast<std::size_t>(t)];
+    if (a.ring() == SparseRing::kM61) {
+      gustavson_rows(
+          a, b, i0, i1, /*init=*/0,
+          [](std::uint64_t acc, std::uint64_t x, std::uint64_t y) {
+            // One reduction per elementary product (schoolbook discipline;
+            // sparse rows are short, so laziness buys little here).
+            return Mersenne61::add(acc, Mersenne61::reduce128(
+                                            static_cast<__uint128_t>(x) * y));
+          },
+          [](std::uint64_t v) { return v != 0; }, out);
+    } else {
+      gustavson_rows(
+          a, b, i0, i1, /*init=*/kTropicalInf,
+          [](std::uint64_t acc, std::uint64_t x, std::uint64_t y) {
+            const std::uint64_t cand = tropical_add(x, y);
+            return cand < acc ? cand : acc;
+          },
+          [](std::uint64_t v) { return v < kTropicalInf; }, out);
+    }
+  };
+  if (threads <= 1) {
+    run_slice(0, 0, n);
+  } else {
+    shared_thread_pool(threads)->run_indexed(threads, [&](int t) {
+      const int i0 = static_cast<int>(static_cast<std::int64_t>(n) * t / threads);
+      const int i1 =
+          static_cast<int>(static_cast<std::int64_t>(n) * (t + 1) / threads);
+      if (i0 < i1) run_slice(t, i0, i1);
+    });
+  }
+  std::vector<std::size_t> row_ptr(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<int> cols;
+  std::vector<std::uint64_t> vals;
+  std::size_t row = 0;
+  for (const CsrSlice& s : slices) {
+    for (std::size_t r = 0; r < s.row_nnz.size(); ++r) {
+      row_ptr[row + 1] = row_ptr[row] + s.row_nnz[r];
+      ++row;
+    }
+    cols.insert(cols.end(), s.cols.begin(), s.cols.end());
+    vals.insert(vals.end(), s.vals.begin(), s.vals.end());
+  }
+  CC_CHECK(row == static_cast<std::size_t>(n), "sparse product lost rows");
+  return Csr61(n, a.ring(), std::move(row_ptr), std::move(cols), std::move(vals));
+}
+
+Csr61 csr_multiply_csr_dispatch(const Csr61& a, const Csr61& b) {
+  return csr_multiply_csr_kernel(a, b, dispatch_threads(a.n()));
+}
+
 }  // namespace cclique

@@ -38,6 +38,7 @@
 #include <cstdint>
 
 #include "linalg/mat61.h"
+#include "linalg/sparse.h"
 #include "linalg/tropical.h"
 
 namespace cclique {
@@ -91,6 +92,57 @@ void tropical_mm_rows_scalar(const std::uint64_t* a, const std::uint64_t* b,
 /// undercut an accumulator <= kTropicalInf).
 void tropical_mm_rows_avx2(const std::uint64_t* a, const std::uint64_t* b,
                            std::uint64_t* c, int n, int i0, int i1);
+
+// ---------------------------------------------------------------------------
+// Sparse row-range kernels (scalar; AVX2 variants are a future rung — the
+// gather-heavy access pattern needs AVX-512 to pay off). Operate on raw CSR
+// arrays (linalg/sparse.h layout) for A and row-major dense storage for B
+// and C, computing output rows [i0, i1) — the same unit of static thread
+// partition as the dense kernels, so CC_THREADS determinism carries over
+// unchanged.
+
+/// Sparse·dense over F_{2^61-1}: C rows [i0, i1) of C = A_csr * B_dense.
+/// Accumulates 128-bit lazily with the dense kernel's 32-deep panel fold
+/// (products of reduced elements are < 2^122). c rows end reduced.
+void m61_spmm_rows_scalar(const std::size_t* row_ptr, const int* cols,
+                          const std::uint64_t* vals, const std::uint64_t* b,
+                          std::uint64_t* c, int n, int i0, int i1);
+
+/// Sparse·dense over (min, +): C rows [i0, i1) of the distance product.
+/// Explicit CSR entries are finite by construction, so every stored lane
+/// streams without the dense kernel's +inf skip test.
+void tropical_spmm_rows_scalar(const std::size_t* row_ptr, const int* cols,
+                               const std::uint64_t* vals, const std::uint64_t* b,
+                               std::uint64_t* c, int n, int i0, int i1);
+
+// ---------------------------------------------------------------------------
+// Sparse whole-product entry points.
+
+/// C = A * B with sparse A and dense B, explicit thread count — the
+/// ablation/test entry (bit-identical output for every valid thread count;
+/// static row partition identical to the dense kernels).
+/// Preconditions: a.ring() matches the dense carrier, a.n() == b.n(),
+/// threads >= 1 (CC_REQUIRE).
+Mat61 m61_spmm_kernel(const Csr61& a, const Mat61& b, int threads);
+TropicalMat tropical_spmm_kernel(const Csr61& a, const TropicalMat& b, int threads);
+
+/// Env-driven sparse·dense dispatch (CC_THREADS via cc_thread_count, small
+/// products kept serial like the dense dispatch). The local kernel of the
+/// sparse MM schedule (core/algebraic_mm).
+Mat61 m61_spmm_dispatch(const Csr61& a, const Mat61& b);
+TropicalMat tropical_spmm_dispatch(const Csr61& a, const TropicalMat& b);
+
+/// C = A * B with both operands sparse (either ring — taken from a), CSR
+/// out. Row-Gustavson with a dense per-row accumulator; output rows are
+/// independent, so the same static row partition threads it and the result
+/// is bit-identical for every thread count. Explicit entries of the result
+/// are exactly the product's non-implicit-zero entries (entries that cancel
+/// to the implicit zero mod p are dropped).
+/// Preconditions: a.n() == b.n(), a.ring() == b.ring(), threads >= 1.
+Csr61 csr_multiply_csr_kernel(const Csr61& a, const Csr61& b, int threads);
+
+/// Env-driven sparse·sparse dispatch; see csr_multiply_csr_kernel.
+Csr61 csr_multiply_csr_dispatch(const Csr61& a, const Csr61& b);
 
 // ---------------------------------------------------------------------------
 // Whole-product entry points.

@@ -1,0 +1,183 @@
+#include "linalg/sparse.h"
+
+#include <algorithm>
+
+#include "util/field.h"
+
+namespace cclique {
+
+namespace {
+
+/// A valid explicit entry of `ring`: inside the carrier and distinct from
+/// the implicit zero (which CSR must never store).
+bool valid_explicit(SparseRing ring, std::uint64_t v) {
+  if (ring == SparseRing::kTropical) return v < kTropicalInf;
+  return v >= 1 && v < Mersenne61::kP;
+}
+
+}  // namespace
+
+Csr61::Csr61(int n, SparseRing ring) : n_(n), ring_(ring) {
+  CC_REQUIRE(n >= 0, "negative dimension");
+  row_ptr_.assign(static_cast<std::size_t>(n) + 1, 0);
+}
+
+Csr61::Csr61(int n, SparseRing ring, std::vector<std::size_t> row_ptr,
+             std::vector<int> cols, std::vector<std::uint64_t> vals)
+    : n_(n),
+      ring_(ring),
+      row_ptr_(std::move(row_ptr)),
+      cols_(std::move(cols)),
+      vals_(std::move(vals)) {
+  CC_REQUIRE(n >= 0, "negative dimension");
+  CC_REQUIRE(row_ptr_.size() == static_cast<std::size_t>(n) + 1,
+             "row_ptr must have n+1 entries");
+  CC_REQUIRE(row_ptr_.front() == 0 && row_ptr_.back() == cols_.size(),
+             "row_ptr must span [0, nnz]");
+  CC_REQUIRE(cols_.size() == vals_.size(), "one value per column index");
+  for (int i = 0; i < n_; ++i) {
+    const std::size_t lo = row_ptr_[static_cast<std::size_t>(i)];
+    const std::size_t hi = row_ptr_[static_cast<std::size_t>(i) + 1];
+    CC_REQUIRE(lo <= hi, "row_ptr must be monotone");
+    for (std::size_t e = lo; e < hi; ++e) {
+      CC_REQUIRE(cols_[e] >= 0 && cols_[e] < n_, "column out of range");
+      CC_REQUIRE(e == lo || cols_[e - 1] < cols_[e],
+                 "columns must be strictly increasing within a row");
+      CC_REQUIRE(valid_explicit(ring_, vals_[e]),
+                 "explicit entry outside the carrier or equal to the "
+                 "implicit zero");
+    }
+  }
+}
+
+std::uint64_t Csr61::get(int i, int j) const {
+  CC_REQUIRE(i >= 0 && i < n_ && j >= 0 && j < n_, "index out of range");
+  oblivious::source_touch(CC_OBLIVIOUS_SITE("Csr61::get"));
+  const auto lo = cols_.begin() + static_cast<std::ptrdiff_t>(
+                                      row_ptr_[static_cast<std::size_t>(i)]);
+  const auto hi = cols_.begin() + static_cast<std::ptrdiff_t>(
+                                      row_ptr_[static_cast<std::size_t>(i) + 1]);
+  const auto it = std::lower_bound(lo, hi, j);
+  if (it == hi || *it != j) return implicit_zero();
+  return vals_[static_cast<std::size_t>(it - cols_.begin())];
+}
+
+namespace {
+
+/// Shared dense-scan builder: keeps every entry != implicit zero.
+Csr61 csr_from_row_major(int n, SparseRing ring, const std::uint64_t* data) {
+  std::vector<std::size_t> row_ptr(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<int> cols;
+  std::vector<std::uint64_t> vals;
+  const std::uint64_t zero = sparse_implicit_zero(ring);
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t* row = data + static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
+    for (int j = 0; j < n; ++j) {
+      if (row[j] == zero) continue;
+      cols.push_back(j);
+      vals.push_back(row[j]);
+    }
+    row_ptr[static_cast<std::size_t>(i) + 1] = cols.size();
+  }
+  return Csr61(n, ring, std::move(row_ptr), std::move(cols), std::move(vals));
+}
+
+}  // namespace
+
+Csr61 Csr61::from_dense(const Mat61& m) {
+  if (m.n() == 0) return Csr61(0, SparseRing::kM61);
+  return csr_from_row_major(m.n(), SparseRing::kM61, m.data());
+}
+
+Csr61 Csr61::from_dense(const TropicalMat& m) {
+  if (m.n() == 0) return Csr61(0, SparseRing::kTropical);
+  return csr_from_row_major(m.n(), SparseRing::kTropical, m.data());
+}
+
+namespace {
+
+/// Per-row (col, val) pairs -> canonical CSR. Sorts each row and rejects
+/// duplicate columns (a duplicate edge or a self-loop listed twice).
+Csr61 csr_from_row_lists(int n, SparseRing ring,
+                         std::vector<std::vector<std::pair<int, std::uint64_t>>>& rows) {
+  std::vector<std::size_t> row_ptr(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<int> cols;
+  std::vector<std::uint64_t> vals;
+  for (int i = 0; i < n; ++i) {
+    auto& row = rows[static_cast<std::size_t>(i)];
+    std::sort(row.begin(), row.end());
+    for (std::size_t e = 0; e < row.size(); ++e) {
+      CC_REQUIRE(e == 0 || row[e - 1].first != row[e].first,
+                 "duplicate entry in a CSR row");
+      cols.push_back(row[e].first);
+      vals.push_back(row[e].second);
+    }
+    row_ptr[static_cast<std::size_t>(i) + 1] = cols.size();
+  }
+  return Csr61(n, ring, std::move(row_ptr), std::move(cols), std::move(vals));
+}
+
+}  // namespace
+
+Csr61 Csr61::from_edges(int n, const std::vector<Edge>& edges) {
+  CC_REQUIRE(n >= 0, "negative dimension");
+  std::vector<std::vector<std::pair<int, std::uint64_t>>> rows(
+      static_cast<std::size_t>(n));
+  for (const Edge& e : edges) {
+    CC_REQUIRE(e.u >= 0 && e.v < n && e.u != e.v, "edge outside [0, n) or a self-loop");
+    rows[static_cast<std::size_t>(e.u)].push_back({e.v, 1});
+    rows[static_cast<std::size_t>(e.v)].push_back({e.u, 1});
+  }
+  return csr_from_row_lists(n, SparseRing::kM61, rows);
+}
+
+Csr61 Csr61::from_weighted_edges(int n, const std::vector<Edge>& edges,
+                                 const std::vector<std::uint32_t>& weights) {
+  CC_REQUIRE(n >= 0, "negative dimension");
+  CC_REQUIRE(weights.size() == edges.size(), "one weight per edge");
+  std::vector<std::vector<std::pair<int, std::uint64_t>>> rows(
+      static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    // Diagonal zeros are genuine explicit entries of the one-step matrix
+    // (distance 0 to oneself), not implicit zeros (+inf).
+    rows[static_cast<std::size_t>(v)].push_back({v, 0});
+  }
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const Edge& ed = edges[e];
+    CC_REQUIRE(ed.u >= 0 && ed.v < n && ed.u != ed.v,
+               "edge outside [0, n) or a self-loop");
+    rows[static_cast<std::size_t>(ed.u)].push_back({ed.v, weights[e]});
+    rows[static_cast<std::size_t>(ed.v)].push_back({ed.u, weights[e]});
+  }
+  return csr_from_row_lists(n, SparseRing::kTropical, rows);
+}
+
+Mat61 Csr61::to_mat61() const {
+  CC_REQUIRE(ring_ == SparseRing::kM61, "tropical CSR cannot become a Mat61");
+  Mat61 out(n_);
+  std::uint64_t* data = out.mutable_data();
+  for (int i = 0; i < n_; ++i) {
+    std::uint64_t* row = data + static_cast<std::size_t>(i) * static_cast<std::size_t>(n_);
+    for (std::size_t e = row_ptr_[static_cast<std::size_t>(i)];
+         e < row_ptr_[static_cast<std::size_t>(i) + 1]; ++e) {
+      row[cols_[e]] = vals_[e];
+    }
+  }
+  return out;
+}
+
+TropicalMat Csr61::to_tropical() const {
+  CC_REQUIRE(ring_ == SparseRing::kTropical, "m61 CSR cannot become a TropicalMat");
+  TropicalMat out(n_);
+  std::uint64_t* data = out.mutable_data();
+  for (int i = 0; i < n_; ++i) {
+    std::uint64_t* row = data + static_cast<std::size_t>(i) * static_cast<std::size_t>(n_);
+    for (std::size_t e = row_ptr_[static_cast<std::size_t>(i)];
+         e < row_ptr_[static_cast<std::size_t>(i) + 1]; ++e) {
+      row[cols_[e]] = vals_[e];
+    }
+  }
+  return out;
+}
+
+}  // namespace cclique

@@ -1,0 +1,157 @@
+// Sparse (CSR) matrices over both algebraic carriers — F_{2^61-1} and the
+// tropical 61-bit semiring — sharing the dense types' wire format.
+//
+// Every algebraic workload used to materialize dense n x n operands
+// (linalg/mat61, linalg/tropical), which caps n far below the sparse-graph
+// regimes Le Gall (DISC'16) targets: 4-cycle counting, girth, and APSP on
+// graphs whose one-step matrices have O(n) finite entries. This module is
+// the storage half of the sparse substrate: a compressed-sparse-row matrix
+// whose explicit entries are exactly the dense types' 61-bit words, so a
+// CSR operand serializes element-for-element like its dense twin and the
+// two representations convert losslessly in both directions.
+//
+//  * One class serves both carriers, tagged by SparseRing: the *implicit*
+//    entry is the ring's additive identity (0 over F_{2^61-1}, kTropicalInf
+//    over (min, +)), so "nnz" uniformly means "entries that could affect a
+//    product". Explicit entries are always distinct from the implicit zero
+//    and within the carrier (< p, respectively < kTropicalInf).
+//  * Column indices are strictly increasing within a row — the canonical
+//    form conversions and kernels rely on (and preserve), which is what
+//    makes CSR equality meaningful and thread partitioning deterministic.
+//  * Obliviousness: the sparsity *structure* is payload-derived — which
+//    entries of a row are nonzero is exactly the kind of data a schedule
+//    must not silently depend on. The structure and value accessors
+//    (nnz/row_nnz/row_ptr/cols/vals) therefore call oblivious::source_touch
+//    like Mat61::get does; schedules that legitimately depend on nnz go
+//    through oblivious::declared_dependence (core/algebraic_mm's
+//    declared_nnz_profile, DESIGN.md §2.8).
+//
+// The local product kernels over CSR operands (sparse·dense, sparse·sparse)
+// live in linalg/kernels.h beside the dense dispatch entry points.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/oblivious_guard.h"
+#include "graph/graph.h"
+#include "linalg/mat61.h"
+#include "linalg/tropical.h"
+#include "util/check.h"
+
+namespace cclique {
+
+/// Which carrier a sparse matrix's entries live in. The tag decides the
+/// implicit entry and the validity range of explicit values; the storage
+/// layout and wire format are identical for both.
+enum class SparseRing {
+  kM61,       ///< F_{2^61-1}: implicit 0, explicit entries in [1, p)
+  kTropical,  ///< (min, +): implicit +inf, explicit entries in [0, kTropicalInf)
+};
+
+/// The ring's additive identity — the value a missing CSR entry denotes.
+inline constexpr std::uint64_t sparse_implicit_zero(SparseRing r) {
+  return r == SparseRing::kTropical ? kTropicalInf : 0;
+}
+
+/// n x n compressed-sparse-row matrix with 61-bit entries over either
+/// carrier. Rows are contiguous [row_ptr()[i], row_ptr()[i+1]) spans of
+/// (cols(), vals()) with strictly increasing columns.
+class Csr61 {
+ public:
+  Csr61() = default;
+
+  /// The n x n all-implicit-zero matrix of the given ring.
+  explicit Csr61(int n, SparseRing ring = SparseRing::kM61);
+
+  /// Adopts raw CSR arrays. Preconditions (CC_REQUIRE): row_ptr has n+1
+  /// monotone entries starting at 0 and ending at cols.size(); per-row
+  /// columns are strictly increasing in [0, n); every value is a valid
+  /// explicit entry of `ring` (in particular, never the implicit zero).
+  Csr61(int n, SparseRing ring, std::vector<std::size_t> row_ptr,
+        std::vector<int> cols, std::vector<std::uint64_t> vals);
+
+  int n() const { return n_; }
+  SparseRing ring() const { return ring_; }
+  std::uint64_t implicit_zero() const { return sparse_implicit_zero(ring_); }
+
+  /// Total explicit entries. Structure reads are tainted sources: an nnz
+  /// count flowing into a schedule must pass through a declared dependence
+  /// (see DESIGN.md §2.8), which is what the guard verifies.
+  std::size_t nnz() const {
+    oblivious::source_touch(CC_OBLIVIOUS_SITE("Csr61::nnz"));
+    return cols_.size();
+  }
+
+  /// Explicit entries in row i.
+  std::size_t row_nnz(int i) const {
+    CC_REQUIRE(i >= 0 && i < n_, "row out of range");
+    oblivious::source_touch(CC_OBLIVIOUS_SITE("Csr61::row_nnz"));
+    return row_ptr_[static_cast<std::size_t>(i) + 1] -
+           row_ptr_[static_cast<std::size_t>(i)];
+  }
+
+  /// Row span table (n+1 entries).
+  const std::size_t* row_ptr() const {
+    oblivious::source_touch(CC_OBLIVIOUS_SITE("Csr61::row_ptr"));
+    return row_ptr_.data();
+  }
+
+  /// Column indices of the explicit entries (nnz entries, strictly
+  /// increasing within each row).
+  const int* cols() const {
+    oblivious::source_touch(CC_OBLIVIOUS_SITE("Csr61::cols"));
+    return cols_.data();
+  }
+
+  /// Values of the explicit entries (nnz 61-bit words).
+  const std::uint64_t* vals() const {
+    oblivious::source_touch(CC_OBLIVIOUS_SITE("Csr61::vals"));
+    return vals_.data();
+  }
+
+  /// Entry (i, j): the explicit value, or the implicit zero. O(log row_nnz).
+  std::uint64_t get(int i, int j) const;
+
+  bool operator==(const Csr61& o) const {
+    return n_ == o.n_ && ring_ == o.ring_ && row_ptr_ == o.row_ptr_ &&
+           cols_ == o.cols_ && vals_ == o.vals_;
+  }
+  bool operator!=(const Csr61& o) const { return !(*this == o); }
+
+  /// CSR of a dense F_{2^61-1} matrix: explicit entries are exactly the
+  /// nonzero entries of `m`.
+  static Csr61 from_dense(const Mat61& m);
+
+  /// CSR of a dense tropical matrix: explicit entries are exactly the
+  /// finite entries of `m`.
+  static Csr61 from_dense(const TropicalMat& m);
+
+  /// Symmetric 0/1 adjacency CSR over F_{2^61-1} from an edge list on
+  /// vertices [0, n) — the sparse twin of Mat61::adjacency, built without
+  /// any O(n^2) intermediate (pairs with gnp_edges for large-n workloads).
+  /// Duplicate edges and self-loops are rejected (CC_REQUIRE).
+  static Csr61 from_edges(int n, const std::vector<Edge>& edges);
+
+  /// One-step tropical distance CSR from a weighted edge list: 0 on the
+  /// diagonal, weights[e] on both directions of edge e, implicit +inf
+  /// elsewhere — the sparse twin of TropicalMat::from_weighted_graph.
+  /// Preconditions: weights.size() == edges.size(); no duplicate edges or
+  /// self-loops (CC_REQUIRE). Zero-weight edges are kept explicit.
+  static Csr61 from_weighted_edges(int n, const std::vector<Edge>& edges,
+                                   const std::vector<std::uint32_t>& weights);
+
+  /// Dense reconstructions (exact inverses of the from_dense builders).
+  /// Preconditions: the matching ring tag (CC_REQUIRE).
+  Mat61 to_mat61() const;
+  TropicalMat to_tropical() const;
+
+ private:
+  int n_ = 0;
+  SparseRing ring_ = SparseRing::kM61;
+  std::vector<std::size_t> row_ptr_ = {0};
+  std::vector<int> cols_;
+  std::vector<std::uint64_t> vals_;
+};
+
+}  // namespace cclique

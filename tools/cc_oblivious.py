@@ -7,7 +7,7 @@ being *data-oblivious*: round counts and message lengths are functions of
 entries, edge weights). The runtime guard (src/analysis/oblivious_guard.h)
 enforces this dynamically on executed paths; this lint enforces it
 statically, closing the dynamic guard's value-laundering gap (a payload
-value copied out of a source before the sink opens). Four checks:
+value copied out of a source before the sink opens). Five checks:
 
 1. Plan reads payload: the body of a plan/pricing function (`*_plan`,
    `*_lengths`, `relay_cost`, `fill_plan_schedule`) calls a payload
@@ -28,6 +28,15 @@ value copied out of a source before the sink opens). Four checks:
    measured stats against it (same rule check_locality.py enforces — a
    plan that is never compared to measured rounds/bits is untested paper
    math, and here it is also an unenforced obliviousness claim).
+
+5. Undeclared nnz dependence: a plan/pricing function (including the
+   `*_profile` family) reads sparse *structure* (`.nnz(`, `.row_nnz(`,
+   `.row_ptr(`, `.cols(`, `.vals(`) without a `declared_dependence`
+   declaration in its body. Sparse schedules are legitimately functions
+   of nnz — but only through the announced-profile choke point
+   (core/sparse_mm.h), where the dependence is declared to the runtime
+   guard; a plan that reads CSR structure silently is the sparse twin of
+   check 1.
 
 Front-ends: with libclang available (CI installs it), regions of interest
 — plan-function bodies and engine-callback lambda bodies — are carved out
@@ -58,14 +67,18 @@ import lint_common as lc
 
 FIXTURE = os.path.join(lc.REPO, "tools", "fixtures", "oblivious_violation_example.cpp")
 
-# Pricing-function definitions: the name families that compute schedules.
+# Pricing-function definitions: the name families that compute schedules
+# (`*_profile` covers the sparse nnz-declaration choke points).
 PLAN_DEF_RE = re.compile(
-    r"\b(?!run_)(\w+_plan|\w+_lengths|relay_cost|fill_plan_schedule)\s*\("
+    r"\b(?!run_)(\w+_plan|\w+_lengths|\w+_profile|relay_cost|fill_plan_schedule)\s*\("
 )
 # Payload accessors, as tagged for the runtime guard (linalg get/row/data,
 # weight arrays). Message::size_bits and graph adjacency are deliberately
 # NOT here: committed lengths and network topology are common knowledge.
 PAYLOAD_READ_RE = re.compile(r"\.(?:get|row)\s*\(|\.data\s*\(\s*\)|\bweights\s*\[")
+# Sparse structure accessors (linalg/sparse.h): tainted like payload, but
+# plans may read them *through a declared dependence* (check 5).
+NNZ_READ_RE = re.compile(r"\.(?:nnz|row_nnz|row_ptr|cols|vals)\s*\(")
 CALLBACK_CALL_RE = re.compile(r"\.(?:round|round_fill|send_phase)\s*\(")
 LAMBDA_RE = re.compile(r"\[&\]\s*\(\s*(?:const\s+)?int\s+(\w+)([^)]*)\)")
 # Same executor exemption as check_locality.py: run_*_plan consumes a plan.
@@ -260,6 +273,15 @@ def scan_file(path):
                 f"(`{snippet(body[m.start() : m.end() + 16])}`) — schedules "
                 "must be functions of (n, w, b) alone (check 1)",
             )
+        if "declared_dependence" not in body:
+            for m in NNZ_READ_RE.finditer(body):
+                flag(
+                    body_off + m.start(),
+                    f"plan function `{name}` reads sparse structure "
+                    f"(`{snippet(body[m.start() : m.end() + 16])}`) without "
+                    "declaring the dependence — nnz may shape a schedule "
+                    "only through oblivious::declared_dependence (check 5)",
+                )
 
     for body, body_off in callbacks:
         for m in re.finditer(r"\.(push_uint|append_slice)\s*\(", body):
@@ -287,7 +309,13 @@ def scan_file(path):
                 )
 
     if PLAN_CALL_RE.search(text):
-        if not CC_CHECK_PLAN_RE.search(text) and "run_block_mm" not in text:
+        # run_block_mm / run_sparse_mm are the plan-consuming executors;
+        # their header templates carry the measured==plan CC_CHECKs.
+        if (
+            not CC_CHECK_PLAN_RE.search(text)
+            and "run_block_mm" not in text
+            and "run_sparse_mm" not in text
+        ):
             problems.append(
                 f"{rel}: binds a *_plan(...) result but never CC_CHECKs "
                 "measured stats against the plan (check 4)"
@@ -308,6 +336,7 @@ def self_test():
             ("check 2 (payload-sized message)", "(check 2)"),
             ("check 3 (branch on payload in callback)", "(check 3)"),
             ("check 4 (unchecked plan)", "(check 4)"),
+            ("check 5 (undeclared nnz dependence)", "(check 5)"),
         ],
     )
 

@@ -18,6 +18,7 @@
 #include "analysis/oblivious_guard.h"
 #include "comm/clique_unicast.h"
 #include "linalg/mat61.h"
+#include "linalg/sparse.h"
 
 namespace cclique {
 
@@ -31,6 +32,19 @@ struct ObliviousFixturePlan {
 ObliviousFixturePlan fixture_mm_plan(const Mat61& a, int bandwidth) {
   ObliviousFixturePlan plan;
   plan.bits = a.get(0, 0) * static_cast<std::uint64_t>(bandwidth);
+  plan.rounds = static_cast<int>(plan.bits) / bandwidth;
+  return plan;
+}
+
+// check 5: a pricing function shapes its schedule from CSR structure
+// (nnz) without declaring the dependence — the legitimate route is the
+// declared_nnz_profile choke point (core/sparse_mm.h), whose body holds an
+// oblivious::declared_dependence declaration; silently read, the nnz
+// dependence bypasses both the runtime guard's accounting and the
+// announcement that makes it common knowledge.
+ObliviousFixturePlan fixture_sparse_profile(const Csr61& a, int bandwidth) {
+  ObliviousFixturePlan plan;
+  plan.bits = static_cast<std::uint64_t>(a.nnz()) * 61;
   plan.rounds = static_cast<int>(plan.bits) / bandwidth;
   return plan;
 }
