@@ -220,4 +220,89 @@ AlgebraicCountResult four_cycle_count_algebraic(CliqueUnicast& net, const Graph&
   return out;
 }
 
+CountingArtifactPlan counting_artifacts_plan(int n, int bandwidth) {
+  // Plan-function sink: the combined counting schedule is priced from
+  // (n, b) alone — the adjacency payload never enters.
+  oblivious::SinkScope sink(CC_OBLIVIOUS_SITE("counting_artifacts_plan"));
+  CC_REQUIRE(n >= 1, "need at least one player");
+  CC_REQUIRE(bandwidth >= 1, "bandwidth must be positive");
+  CountingArtifactPlan plan;
+  plan.n = n;
+  plan.product = algebraic_mm_plan(n, /*word_bits=*/61, bandwidth);
+  // One 4-field 61-bit message per ordered pair, chunked like every
+  // unicast_payloads exchange (nothing to share on a 1-clique).
+  plan.share_rounds =
+      n >= 2 ? static_cast<int>(ceil_div(4 * 61, static_cast<std::uint64_t>(bandwidth)))
+             : 0;
+  plan.total_rounds = plan.product.total_rounds + plan.share_rounds;
+  plan.total_bits =
+      plan.product.total_bits +
+      (n >= 2 ? static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n - 1) * 4 * 61u
+              : 0u);
+  return plan;
+}
+
+CountingArtifact counting_artifacts_run(CliqueUnicast& net, const Graph& g) {
+  const int n = g.num_vertices();
+  CC_REQUIRE(net.n() == n, "one player per vertex");
+  CC_REQUIRE(n >= 1 && n <= (1 << 15), "exact counting needs trace(A^4) < 2^61");
+  CountingArtifact out;
+  out.plan = counting_artifacts_plan(n, net.bandwidth());
+  const int rounds_before = net.stats().rounds;
+  const std::uint64_t bits_before = net.stats().total_bits;
+
+  const Mat61 a = Mat61::adjacency(g);
+  const AlgebraicMmResult mm = algebraic_mm_m61(net, a, a, &out.a2);
+  (void)mm;
+
+  // Per-player shares of all four counting statistics, shipped in one
+  // exchange: trace(A³) diagonal, trace(A⁴) walk norm, deg², deg (see the
+  // standalone protocols above for the identities).
+  locality::PerPlayer<std::uint64_t> diag(
+      n, CC_LOCALITY_SITE("local trace(A^3) share"));
+  locality::PerPlayer<std::uint64_t> walk(
+      n, CC_LOCALITY_SITE("local trace(A^4) share"));
+  locality::PerPlayer<std::uint64_t> deg2(
+      n, CC_LOCALITY_SITE("local squared-degree share"));
+  locality::PerPlayer<std::uint64_t> deg(
+      n, CC_LOCALITY_SITE("local degree share"));
+  for (int v = 0; v < n; ++v) {
+    std::uint64_t acc3 = 0;
+    for (int j : g.neighbors(v)) acc3 = Mersenne61::add(acc3, out.a2.get(v, j));
+    diag[v] = acc3;
+    std::uint64_t acc4 = 0;
+    for (int j = 0; j < n; ++j) {
+      const std::uint64_t e = out.a2.get(v, j);
+      acc4 = Mersenne61::add(acc4, Mersenne61::mul(e, e));
+    }
+    walk[v] = acc4;
+    const std::uint64_t d = static_cast<std::uint64_t>(g.degree(v));
+    deg2[v] = Mersenne61::mul(d, d);
+    deg[v] = d;
+  }
+  std::vector<std::uint64_t> totals;
+  const int share_rounds = share_partials(
+      net, {diag.raw(), walk.raw(), deg2.raw(), deg.raw()}, &totals);
+  const std::uint64_t trace3 = totals[0];
+  const std::uint64_t trace4 = totals[1];
+  const std::uint64_t sum_deg2 = totals[2];
+  const std::uint64_t twice_edges = totals[3];
+  CC_CHECK(trace3 % 6 == 0, "trace(A^3) must be 6 * #triangles");
+  out.triangles = trace3 / 6;
+  CC_CHECK(trace4 + twice_edges >= 2 * sum_deg2, "closed-walk identity violated");
+  const std::uint64_t numerator = trace4 + twice_edges - 2 * sum_deg2;
+  CC_CHECK(numerator % 8 == 0, "trace identity must yield 8 * #C4");
+  out.four_cycles = numerator / 8;
+
+  out.total_rounds = net.stats().rounds - rounds_before;
+  out.total_bits = net.stats().total_bits - bits_before;
+  CC_CHECK(share_rounds == out.plan.share_rounds,
+           "counting share left the planned schedule");
+  CC_CHECK(out.total_rounds == out.plan.total_rounds,
+           "counting-artifact rounds diverged from the planned schedule");
+  CC_CHECK(out.total_bits == out.plan.total_bits,
+           "counting-artifact bits diverged from the planned schedule");
+  return out;
+}
+
 }  // namespace cclique

@@ -150,4 +150,43 @@ AlgebraicCountResult four_cycle_count_algebraic(
     CliqueUnicast& net, const Graph& g,
     CountBackend backend = CountBackend::kDense);
 
+/// The data-independent cost schedule of one counting-artifact run
+/// (counting_artifacts_run below): one dense A·A product plus a single
+/// combined partial-sum exchange carrying all four counting fields
+/// (trace(A³) diagonal share, trace(A⁴) walk share, deg², deg) in one
+/// 4·61-bit message per ordered pair. A function of (n, bandwidth) alone.
+struct CountingArtifactPlan {
+  int n = 0;
+  AlgebraicMmPlan product;  ///< the A·A schedule (word_bits = 61)
+  int share_rounds = 0;     ///< ceil(4·61 / b); 0 on a 1-clique
+  int total_rounds = 0;
+  std::uint64_t total_bits = 0;
+};
+
+/// Computes the exact round/bit schedule of counting_artifacts_run for n
+/// players at per-edge bandwidth `bandwidth`. Preconditions: n >= 1,
+/// bandwidth >= 1.
+CountingArtifactPlan counting_artifacts_plan(int n, int bandwidth);
+
+/// The counting artifact the serving layer (core/query_service) caches:
+/// A² over F_{2^61-1} plus both exact counts from one protocol run —
+/// triangle and 4-cycle queries then cost zero additional rounds. Compared
+/// with running triangle_count_algebraic and four_cycle_count_algebraic
+/// separately this saves a full A·A product and folds the two partial-sum
+/// exchanges into one.
+struct CountingArtifact {
+  CountingArtifactPlan plan;
+  Mat61 a2;                        ///< the distributed A·A product
+  std::uint64_t triangles = 0;     ///< trace(A³) / 6
+  std::uint64_t four_cycles = 0;   ///< (trace(A⁴) − 2Σdeg² + 2|E|) / 8
+  int total_rounds = 0;            ///< measured; equals plan.total_rounds
+  std::uint64_t total_bits = 0;    ///< measured; equals plan.total_bits
+};
+
+/// Runs one A·A product and the combined 4-field share, returning the
+/// artifact above. Counts are identical to the standalone protocols'.
+/// Requires n <= 2^15 (trace(A⁴) <= n^4 < p, exactness). Measured
+/// rounds/bits are CC_CHECKed against counting_artifacts_plan on every run.
+CountingArtifact counting_artifacts_run(CliqueUnicast& net, const Graph& g);
+
 }  // namespace cclique

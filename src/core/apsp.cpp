@@ -107,7 +107,7 @@ MinPlusResult min_plus_mm_sharded(CliqueUnicast& net, const TropicalMat& a,
 
 ApspResult apsp_run(CliqueUnicast& net, const Graph& g,
                     const std::vector<std::uint32_t>& weights,
-                    TropicalKernel kernel) {
+                    TropicalKernel kernel, ApspArtifacts* artifacts) {
   const int n = g.num_vertices();
   CC_REQUIRE(n >= 1, "need at least one vertex");
   CC_REQUIRE(net.n() == n, "one player per vertex");
@@ -125,12 +125,21 @@ ApspResult apsp_run(CliqueUnicast& net, const Graph& g,
   // payload length — which is what keeps the whole run on the planned
   // data-independent schedule.
   out.dist = TropicalMat::from_weighted_graph(g, weights);
+  if (artifacts != nullptr) {
+    // Artifact retention is a local copy per squaring: the power chain is
+    // exactly what the protocol computes anyway, so keeping it cannot touch
+    // the metered schedule.
+    artifacts->powers.clear();
+    artifacts->powers.reserve(static_cast<std::size_t>(out.plan.squarings) + 1);
+    artifacts->powers.push_back(out.dist);
+  }
   out.products.reserve(static_cast<std::size_t>(out.plan.squarings));
   for (int s = 0; s < out.plan.squarings; ++s) {
     TropicalMat next;
     out.products.push_back(
         run_product(net, out.dist, out.dist, &next, kernel, out.plan.product));
     out.dist = std::move(next);
+    if (artifacts != nullptr) artifacts->powers.push_back(out.dist);
   }
 
   // ---- Eccentricity spectrum: player v derives ecc[v] = max_u d(v, u)

@@ -91,6 +91,17 @@ MinPlusResult min_plus_mm_sharded(CliqueUnicast& net, const TropicalMat& a,
                                   const TropicalMat& b, TropicalMat* c,
                                   const blockmm::ShardLayout& layout);
 
+/// Retained intermediate state of one APSP run — the squaring chain the
+/// serving layer (core/query_service) caches so hop-bounded queries are
+/// answered from local reads long after the protocol finished. powers[0] is
+/// the one-step matrix W and powers[s] the matrix after s squarings: the
+/// exact shortest-path distance restricted to walks of <= 2^s edges (so
+/// powers.back() equals the result's dist). Retention is pure local
+/// copying — requesting artifacts never changes the metered schedule.
+struct ApspArtifacts {
+  std::vector<TropicalMat> powers;  ///< squarings + 1 matrices
+};
+
 /// Outcome of the APSP protocol.
 struct ApspResult {
   ApspPlan plan;
@@ -114,9 +125,13 @@ struct ApspResult {
 /// spectrum. Weights are non-negative 32-bit values, so no finite distance
 /// can saturate (see linalg/tropical.h). Measured rounds/bits are
 /// CC_CHECKed against apsp_plan(n, net.bandwidth()) on every run.
+/// When `artifacts` is non-null the full squaring chain is retained in it
+/// (local copies only — the schedule and every CommStats counter are
+/// identical with or without retention).
 ApspResult apsp_run(CliqueUnicast& net, const Graph& g,
                     const std::vector<std::uint32_t>& weights,
-                    TropicalKernel kernel = TropicalKernel::kBlocked);
+                    TropicalKernel kernel = TropicalKernel::kBlocked,
+                    ApspArtifacts* artifacts = nullptr);
 
 /// One squaring of the adaptive sparse APSP run.
 struct ApspSparseStep {

@@ -126,6 +126,12 @@ class TropicalMat {
   }
   std::uint64_t* mutable_data() { return data_.data(); }
 
+  /// Words of row-major storage backing this matrix (n*n) — the unit the
+  /// serving layer's artifact cache (core/query_service) accounts its
+  /// residency capacity in. Not a tainted read: the footprint is a function
+  /// of the public dimension alone, never of entry values.
+  std::size_t footprint_words() const { return data_.size(); }
+
  private:
   void check(int i, int j) const {
     CC_REQUIRE(i >= 0 && i < n_ && j >= 0 && j < n_, "index out of range");

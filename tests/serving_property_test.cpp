@@ -1,0 +1,446 @@
+// Property / differential fuzzer for the serving layer (core/query_service).
+//
+// Seeded random streams of interleaved point queries and graph mutations run
+// against a QueryService while every answer is checked against independent
+// ground truth: a per-version lazy oracle (Dijkstra distances, unit-weight
+// BFS hop distances, brute-force triangle / 4-cycle counts straight off the
+// adjacency structure) plus occasional fresh protocol cross-checks
+// (apsp_run, triangle_count_algebraic) that bypass the cache entirely. On
+// the first divergence the stream is shrunk by replaying prefixes into a
+// fresh service and the minimal failing prefix is reported — a fuzzer
+// counterexample is useless if it takes 10^4 ops to reproduce.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/algebraic_mm.h"
+#include "core/apsp.h"
+#include "core/query_service.h"
+#include "graph/generators.h"
+#include "linalg/tropical.h"
+#include "util/rng.h"
+
+namespace cclique {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Stream vocabulary: one op is either a query or a mutation. Mutations close
+// the current batch (a batch never spans versions); queries accumulate into
+// the open batch and are flushed in chunks.
+
+struct Op {
+  enum class Kind { kQuery, kAddEdge, kRemoveEdge } kind = Kind::kQuery;
+  Query query;
+  int u = 0;
+  int v = 0;
+  std::uint32_t w = 1;
+};
+
+std::string describe(const Op& op) {
+  std::ostringstream os;
+  switch (op.kind) {
+    case Op::Kind::kAddEdge:
+      os << "add(" << op.u << "," << op.v << ",w=" << op.w << ")";
+      return os.str();
+    case Op::Kind::kRemoveEdge:
+      os << "remove(" << op.u << "," << op.v << ")";
+      return os.str();
+    case Op::Kind::kQuery:
+      break;
+  }
+  const Query& q = op.query;
+  switch (q.kind) {
+    case QueryKind::kDist: os << "dist(" << q.u << "," << q.v << ")"; break;
+    case QueryKind::kEcc: os << "ecc(" << q.v << ")"; break;
+    case QueryKind::kDiameter: os << "diameter()"; break;
+    case QueryKind::kRadius: os << "radius()"; break;
+    case QueryKind::kTriangles: os << "triangles()"; break;
+    case QueryKind::kFourCycles: os << "four_cycles()"; break;
+    case QueryKind::kReach:
+      os << "reach(" << q.u << "," << q.v << ",k=" << q.k << ")";
+      break;
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Ground-truth oracle, rebuilt lazily per graph version from the *current*
+// graph + weight assignment. Deliberately protocol-free: Dijkstra for both
+// metrics and O(n^2)-per-pair combinatorics for the counts, so a bug in the
+// matrix protocols cannot cancel against itself.
+
+class Oracle {
+ public:
+  void invalidate() { fresh_ = false; }
+
+  void ensure(const Graph& g, const std::vector<std::uint32_t>& weights) {
+    if (fresh_) return;
+    const int n = g.num_vertices();
+    dist_ = apsp_dijkstra_reference(g, weights);
+    const std::vector<std::uint32_t> unit(g.num_edges(), 1);
+    hops_ = apsp_dijkstra_reference(g, unit);
+    ecc_.assign(static_cast<std::size_t>(n), 0);
+    diameter_ = 0;
+    radius_ = n > 0 ? kTropicalInf : 0;
+    for (int v = 0; v < n; ++v) {
+      std::uint64_t e = 0;
+      for (int u = 0; u < n; ++u) e = std::max(e, dist_.get(v, u));
+      ecc_[static_cast<std::size_t>(v)] = e;
+      diameter_ = std::max(diameter_, e);
+      radius_ = std::min(radius_, e);
+    }
+    // #triangles = (1/3) sum over edges of |N(u) ∩ N(v)|.
+    std::uint64_t tri3 = 0;
+    for (const Edge& e : g.edges()) {
+      tri3 += static_cast<std::uint64_t>(g.common_neighbor_count(e.u, e.v));
+    }
+    triangles_ = tri3 / 3;
+    // #C4 = sum over unordered pairs {u,v} of C(codeg(u,v), 2) / 2 — each
+    // 4-cycle is counted once per diagonal pair, and it has two diagonals.
+    std::uint64_t c4_twice = 0;
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        const std::uint64_t c =
+            static_cast<std::uint64_t>(g.common_neighbor_count(u, v));
+        c4_twice += c * (c - 1) / 2;
+      }
+    }
+    four_cycles_ = c4_twice / 2;
+    fresh_ = true;
+  }
+
+  std::uint64_t answer(const Query& q) const {
+    switch (q.kind) {
+      case QueryKind::kDist: return dist_.get(q.u, q.v);
+      case QueryKind::kEcc: return ecc_[static_cast<std::size_t>(q.v)];
+      case QueryKind::kDiameter: return diameter_;
+      case QueryKind::kRadius: return radius_;
+      case QueryKind::kTriangles: return triangles_;
+      case QueryKind::kFourCycles: return four_cycles_;
+      case QueryKind::kReach:
+        if (q.u == q.v) return 1;
+        return hops_.get(q.u, q.v) <= static_cast<std::uint64_t>(q.k) ? 1 : 0;
+    }
+    return 0;
+  }
+
+ private:
+  bool fresh_ = false;
+  TropicalMat dist_;
+  TropicalMat hops_;
+  std::vector<std::uint64_t> ecc_;
+  std::uint64_t diameter_ = 0;
+  std::uint64_t radius_ = 0;
+  std::uint64_t triangles_ = 0;
+  std::uint64_t four_cycles_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Stream generation and replay.
+
+Query random_query(int n, Rng& rng) {
+  const int u = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+  const int v = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+  switch (rng.uniform(10)) {
+    case 0: return Query::ecc(v);
+    case 1: return Query::diameter();
+    case 2: return Query::radius();
+    case 3: return Query::triangles();
+    case 4: return Query::four_cycles();
+    case 5:
+    case 6:
+      return Query::reach(u, v, static_cast<int>(rng.uniform(
+                                    static_cast<std::uint64_t>(n) + 2)));
+    default: return Query::dist(u, v);
+  }
+}
+
+std::vector<Op> make_stream(int n, std::size_t ops, double mutate_p, Rng& rng) {
+  std::vector<Op> stream;
+  stream.reserve(ops);
+  for (std::size_t i = 0; i < ops; ++i) {
+    Op op;
+    if (rng.bernoulli(mutate_p) && n >= 2) {
+      int u = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+      int v = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n - 1)));
+      if (v >= u) ++v;
+      const bool add = rng.bernoulli(0.5);
+      op.kind = add ? Op::Kind::kAddEdge : Op::Kind::kRemoveEdge;
+      op.u = u;
+      op.v = v;
+      op.w = static_cast<std::uint32_t>(1 + rng.uniform(1 << 8));
+    } else {
+      op.kind = Op::Kind::kQuery;
+      op.query = random_query(n, rng);
+    }
+    stream.push_back(op);
+  }
+  return stream;
+}
+
+/// Replays ops [0, limit) into a fresh service, checking every flushed
+/// answer against the oracle. Returns the index of the op whose batch first
+/// diverged, or nullopt if the prefix replays clean. `flush_every` bounds
+/// batch size so divergence localizes to a small window.
+std::optional<std::size_t> replay(const Graph& g0,
+                                  const std::vector<std::uint32_t>& w0,
+                                  const std::vector<Op>& stream,
+                                  std::size_t limit, std::size_t flush_every,
+                                  std::string* detail) {
+  QueryService svc(g0, w0);
+  Oracle oracle;
+  std::vector<std::uint32_t> weights = w0;
+
+  QueryBatch batch = svc.new_batch();
+  std::vector<std::size_t> batch_ops;  // stream index of each pushed query
+
+  auto flush = [&]() -> std::optional<std::size_t> {
+    if (batch.size() == 0) return std::nullopt;
+    oracle.ensure(svc.graph(), weights);
+    const BatchResult r = svc.answer(batch);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const std::uint64_t want = oracle.answer(batch.queries()[i]);
+      if (r.answers[i] != want) {
+        if (detail != nullptr) {
+          std::ostringstream os;
+          os << describe(stream[batch_ops[i]]) << " => " << r.answers[i]
+             << ", oracle says " << want;
+          *detail = os.str();
+        }
+        return batch_ops[i];
+      }
+    }
+    batch = svc.new_batch();
+    batch_ops.clear();
+    return std::nullopt;
+  };
+
+  // Keeps the edges()-aligned weight vector the oracle consumes in lockstep
+  // with the service's mutations (the service keeps its own copy; the
+  // oracle needs a twin). Call after a successful add_edge.
+  auto sync_weights_after_add = [&](int u, int v, std::uint32_t w) {
+    const int cu = std::min(u, v), cv = std::max(u, v);
+    std::size_t pos = 0;
+    for (const Edge& e : svc.graph().edges()) {
+      if (e.u == cu && e.v == cv) break;
+      ++pos;
+    }
+    weights.insert(weights.begin() + static_cast<std::ptrdiff_t>(pos), w);
+  };
+
+  for (std::size_t i = 0; i < limit && i < stream.size(); ++i) {
+    const Op& op = stream[i];
+    switch (op.kind) {
+      case Op::Kind::kQuery:
+        batch.push(op.query);
+        batch_ops.push_back(i);
+        if (batch.size() >= flush_every) {
+          if (auto bad = flush()) return bad;
+        }
+        break;
+      case Op::Kind::kAddEdge: {
+        if (auto bad = flush()) return bad;
+        if (svc.add_edge(op.u, op.v, op.w)) {
+          sync_weights_after_add(op.u, op.v, op.w);
+          oracle.invalidate();
+        }
+        batch = svc.new_batch();
+        batch_ops.clear();
+        break;
+      }
+      case Op::Kind::kRemoveEdge: {
+        if (auto bad = flush()) return bad;
+        const int cu = std::min(op.u, op.v);
+        const int cv = std::max(op.u, op.v);
+        // Capture the removed edge's position before mutating.
+        std::size_t pos = 0;
+        bool found = false;
+        for (const Edge& e : svc.graph().edges()) {
+          if (e.u == cu && e.v == cv) {
+            found = true;
+            break;
+          }
+          ++pos;
+        }
+        if (svc.remove_edge(op.u, op.v) && found) {
+          weights.erase(weights.begin() + static_cast<std::ptrdiff_t>(pos));
+          oracle.invalidate();
+        }
+        batch = svc.new_batch();
+        batch_ops.clear();
+        break;
+      }
+    }
+  }
+  return flush();
+}
+
+/// Shrinks a failing stream to the shortest prefix that still diverges and
+/// reports it. Prefix replay is the right shrinker here because the state is
+/// a fold over the stream — any failing prefix is a complete reproducer.
+void shrink_and_fail(const Graph& g0, const std::vector<std::uint32_t>& w0,
+                     const std::vector<Op>& stream, std::size_t first_bad,
+                     std::size_t flush_every, const std::string& graph_name) {
+  std::size_t lo = 0, hi = first_bad + 1;  // replay of hi ops must fail
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (replay(g0, w0, stream, mid, flush_every, nullptr).has_value()) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  std::string detail;
+  replay(g0, w0, stream, hi, flush_every, &detail);
+  std::ostringstream os;
+  os << "serving diverged on graph '" << graph_name << "' — minimal failing "
+     << "prefix is " << hi << " ops: " << detail << "\nprefix tail:";
+  const std::size_t start = hi >= 12 ? hi - 12 : 0;
+  for (std::size_t i = start; i < hi && i < stream.size(); ++i) {
+    os << "\n  [" << i << "] " << describe(stream[i]);
+  }
+  FAIL() << os.str();
+}
+
+struct NamedGraph {
+  std::string name;
+  Graph g;
+};
+
+std::vector<NamedGraph> generator_zoo(Rng& rng) {
+  std::vector<NamedGraph> zoo;
+  zoo.push_back({"complete_8", complete_graph(8)});
+  zoo.push_back({"cycle_11", cycle_graph(11)});
+  zoo.push_back({"path_12", path_graph(12)});
+  zoo.push_back({"star_10", star_graph(10)});
+  zoo.push_back({"bipartite_5_6", complete_bipartite(5, 6)});
+  zoo.push_back({"gnp_sparse", gnp(14, 0.15, rng)});
+  zoo.push_back({"gnp_dense", gnp(12, 0.6, rng)});
+  zoo.push_back({"gnm_13_20", gnm(13, 20, rng)});
+  zoo.push_back({"tree_15", random_tree(15, rng)});
+  Graph planted = gnp(12, 0.2, rng);
+  plant_subgraph(planted, complete_graph(4), rng);
+  zoo.push_back({"planted_k4", shuffled(planted, rng)});
+  zoo.push_back({"singleton", Graph(1)});
+  zoo.push_back({"empty_6", Graph(6)});
+  return zoo;
+}
+
+// ---------------------------------------------------------------------------
+// The fuzzers.
+
+TEST(ServingProperty, DifferentialFuzzAgainstLazyOracle) {
+  Rng zoo_rng(2026);
+  const std::vector<NamedGraph> zoo = generator_zoo(zoo_rng);
+  ASSERT_GE(zoo.size(), 10u);
+  std::size_t total_ops = 0;
+  for (std::size_t gi = 0; gi < zoo.size(); ++gi) {
+    const NamedGraph& ng = zoo[gi];
+    Rng rng(7000 + gi);
+    std::vector<std::uint32_t> w(ng.g.num_edges());
+    for (auto& x : w) x = static_cast<std::uint32_t>(1 + rng.uniform(1 << 8));
+    // ~900 ops per graph across the 12-graph zoo -> >= 10^4 mixed ops total.
+    const std::size_t ops = 900;
+    const std::vector<Op> stream =
+        make_stream(ng.g.num_vertices(), ops, /*mutate_p=*/0.04, rng);
+    total_ops += stream.size();
+    std::string detail;
+    const auto bad =
+        replay(ng.g, w, stream, stream.size(), /*flush_every=*/16, &detail);
+    if (bad.has_value()) {
+      shrink_and_fail(ng.g, w, stream, *bad, 16, ng.name);
+    }
+  }
+  EXPECT_GE(total_ops, 10000u);
+}
+
+TEST(ServingProperty, MutationHeavyFuzzSmallGraphs) {
+  // High mutation rate on tiny graphs stresses invalidation, revert-to-hit,
+  // and the empty/disconnected edge of every artifact class.
+  for (int n : {2, 3, 5}) {
+    Rng rng(static_cast<std::uint64_t>(900 + n));
+    Graph g(n);
+    const std::vector<Op> stream = make_stream(n, 700, /*mutate_p=*/0.35, rng);
+    std::string detail;
+    const auto bad = replay(g, {}, stream, stream.size(), 4, &detail);
+    if (bad.has_value()) {
+      std::ostringstream name;
+      name << "mutation_heavy_n" << n;
+      shrink_and_fail(g, {}, stream, *bad, 4, name.str());
+    }
+  }
+}
+
+TEST(ServingProperty, CrossCheckAgainstFreshProtocolRuns) {
+  // The lazy oracle is protocol-free; this leg closes the loop against the
+  // protocols themselves. Fresh engines, no cache — served answers must
+  // match a from-scratch apsp_run / counting run after every mutation.
+  Rng rng(4242);
+  Graph g = gnp(13, 0.3, rng);
+  std::vector<std::uint32_t> w(g.num_edges());
+  for (auto& x : w) x = static_cast<std::uint32_t>(1 + rng.uniform(100));
+  QueryService svc(g, w);
+  // Mirror the service's weight vector through the mutations below so each
+  // fresh run sees exactly the state the service serves from.
+  std::vector<std::uint32_t> weights = w;
+  auto check_all = [&]() {
+    const Graph& cur = svc.graph();
+    const int n = cur.num_vertices();
+    CliqueUnicast apsp_net(n, 64);
+    const ApspResult direct = apsp_run(apsp_net, cur, weights);
+    CliqueUnicast count_net(n, 64);
+    const AlgebraicCountResult tri = triangle_count_algebraic(count_net, cur);
+    const AlgebraicCountResult c4 = four_cycle_count_algebraic(count_net, cur);
+    QueryBatch batch = svc.new_batch();
+    for (int u = 0; u < n; ++u) batch.push(Query::dist(u, (u * 5 + 1) % n));
+    batch.push(Query::diameter());
+    batch.push(Query::radius());
+    batch.push(Query::triangles());
+    batch.push(Query::four_cycles());
+    const BatchResult r = svc.answer(batch);
+    std::size_t i = 0;
+    for (int u = 0; u < n; ++u) {
+      ASSERT_EQ(r.answers[i++], direct.dist.get(u, (u * 5 + 1) % n)) << "u=" << u;
+    }
+    ASSERT_EQ(r.answers[i++], direct.diameter);
+    ASSERT_EQ(r.answers[i++], direct.radius);
+    ASSERT_EQ(r.answers[i++], tri.count);
+    ASSERT_EQ(r.answers[i++], c4.count);
+  };
+
+  check_all();
+  // Mutate (tracking weights), re-check from fresh protocol runs each time.
+  for (int step = 0; step < 5; ++step) {
+    int u = static_cast<int>(rng.uniform(13));
+    int v = static_cast<int>(rng.uniform(12));
+    if (v >= u) ++v;
+    const int cu = std::min(u, v), cv = std::max(u, v);
+    if (svc.graph().has_edge(u, v)) {
+      std::size_t pos = 0;
+      for (const Edge& e : svc.graph().edges()) {
+        if (e.u == cu && e.v == cv) break;
+        ++pos;
+      }
+      ASSERT_TRUE(svc.remove_edge(u, v));
+      weights.erase(weights.begin() + static_cast<std::ptrdiff_t>(pos));
+    } else {
+      const auto wt = static_cast<std::uint32_t>(1 + rng.uniform(100));
+      ASSERT_TRUE(svc.add_edge(u, v, wt));
+      std::size_t pos = 0;
+      for (const Edge& e : svc.graph().edges()) {
+        if (e.u == cu && e.v == cv) break;
+        ++pos;
+      }
+      weights.insert(weights.begin() + static_cast<std::ptrdiff_t>(pos), wt);
+    }
+    check_all();
+  }
+}
+
+}  // namespace
+}  // namespace cclique
